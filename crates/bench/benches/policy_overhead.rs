@@ -1,0 +1,86 @@
+//! Micro-benchmarks of CIDRE's decision paths.
+//!
+//! The paper reports Algorithm 1 adding ≈36 µs per decision in
+//! OpenLambda; here the pure in-memory decision (no RPC, no Go runtime)
+//! should be far below that. Also benches the CIP priority computation
+//! that eviction sorts by.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cidre_core::{CidreConfig, CipKeepAlive, CssScaler};
+use faas_sim::{
+    ClusterState, ContainerInfo, KeepAlive, PolicyCtx, RequestId, RequestInfo, Scaler, StartClass,
+    WorkerId,
+};
+use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
+
+fn harness() -> ClusterState {
+    let profiles: Vec<FunctionProfile> = (0..64)
+        .map(|i| {
+            FunctionProfile::new(
+                FunctionId(i),
+                format!("f{i}"),
+                256,
+                TimeDelta::from_millis(300),
+            )
+        })
+        .collect();
+    let mut cl = ClusterState::new(&[1_000_000], profiles, 1);
+    for i in 0..64u32 {
+        let id = cl.begin_provision(FunctionId(i), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(id, TimePoint::ZERO);
+        cl.note_arrival(FunctionId(i), TimePoint::ZERO);
+    }
+    cl
+}
+
+fn bench_css_decision(c: &mut Criterion) {
+    let cl = harness();
+    let busy = HashMap::new();
+    let mut css = CssScaler::new(CidreConfig::default());
+    // Prime statistics for one function.
+    let req = RequestInfo {
+        id: RequestId(0),
+        func: FunctionId(0),
+        arrival: TimePoint::ZERO,
+    };
+    for t in 0..100u64 {
+        let ctx = PolicyCtx::new(TimePoint::from_millis(t), &cl, &busy);
+        css.on_start(
+            &req,
+            StartClass::DelayedWarm,
+            TimeDelta::from_millis(5),
+            TimeDelta::from_millis(20),
+            &ctx,
+        );
+    }
+    css.on_cold_outcome(
+        FunctionId(0),
+        Some(TimeDelta::from_millis(5)),
+        &PolicyCtx::new(TimePoint::from_millis(100), &cl, &busy),
+    );
+    c.bench_function("css_on_blocked (Algorithm 1 decision)", |b| {
+        b.iter(|| {
+            let ctx = PolicyCtx::new(TimePoint::from_millis(200), &cl, &busy);
+            std::hint::black_box(css.on_blocked(&req, &ctx))
+        })
+    });
+}
+
+fn bench_cip_priority(c: &mut Criterion) {
+    let cl = harness();
+    let busy = HashMap::new();
+    let cip = CipKeepAlive::new();
+    let info = ContainerInfo::from(cl.container(faas_sim::ContainerId(0)).expect("live"));
+    c.bench_function("cip_priority (Eq. 3)", |b| {
+        b.iter(|| {
+            let ctx = PolicyCtx::new(TimePoint::from_secs(60), &cl, &busy);
+            std::hint::black_box(cip.priority(&info, &ctx))
+        })
+    });
+}
+
+criterion_group!(benches, bench_css_decision, bench_cip_priority);
+criterion_main!(benches);

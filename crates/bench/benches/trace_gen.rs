@@ -1,0 +1,32 @@
+//! Synthetic workload generator throughput and trace analytics cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cidre_bench::experiments::fig9_10::opportunity_counts;
+use faas_trace::stats::TraceStats;
+use faas_trace::{gen, transform};
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("gen_azure_20fn_2min", |b| {
+        b.iter(|| gen::azure(7).functions(20).minutes(2).build())
+    });
+    c.bench_function("gen_fc_20fn_2min", |b| {
+        b.iter(|| gen::fc(7).functions(20).minutes(2).build())
+    });
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let trace = gen::azure(7).functions(20).minutes(2).build();
+    c.bench_function("trace_stats_table1", |b| {
+        b.iter(|| TraceStats::compute(&trace))
+    });
+    c.bench_function("opportunity_counts_fig9", |b| {
+        b.iter(|| opportunity_counts(&trace, 1.0, 1.0))
+    });
+    c.bench_function("transform_scale_iat", |b| {
+        b.iter(|| transform::scale_iat(&trace, 0.5))
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_analytics);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! CLI for the CIDRE experiment suite.
+//!
+//! ```text
+//! experiments <name|all|list> [--quick] [--out DIR] [--seed N]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cidre_bench::{registry, run_by_name, ExpCtx};
+
+fn usage() {
+    eprintln!("usage: experiments <name|all|list> [--quick] [--out DIR] [--seed N]");
+    eprintln!("       experiments list    # show all experiment names");
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(name) = args.next() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let mut ctx = ExpCtx::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => ctx.scale = cidre_bench::Scale::Quick,
+            "--out" => match args.next() {
+                Some(dir) => ctx.out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => ctx.seed = seed,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if name == "list" {
+        for exp in registry() {
+            println!("{:<8} {}", exp.name, exp.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "CIDRE experiment suite — {} scale, seed {}, output {}",
+        format!("{:?}", ctx.scale).to_lowercase(),
+        ctx.seed,
+        ctx.out_dir.display()
+    );
+    let start = std::time::Instant::now();
+    if !run_by_name(&name, &ctx) {
+        eprintln!("unknown experiment {name:?}; try `experiments list`");
+        return ExitCode::FAILURE;
+    }
+    println!("done in {:.1}s", start.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,27 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every experiment takes an [`crate::ExpCtx`], prints the paper's
+//! rows/series, and writes CSVs under the output directory. The mapping
+//! from module to paper artifact is in `DESIGN.md` §5; the measured
+//! results are recorded against the paper's claims in `EXPERIMENTS.md`.
+
+pub mod extra_placement;
+pub mod extra_variance;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig2;
+pub mod fig20;
+pub mod fig21;
+pub mod fig3;
+pub mod fig5_6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9_10;
+pub mod sweep;
+pub mod table1;

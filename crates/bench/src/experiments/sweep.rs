@@ -1,0 +1,72 @@
+//! Custom sweep: any subset of policies across any cache sizes, driven
+//! from the CLI. Not a paper artifact — a tool for exploring the space
+//! the paper's Fig. 12 samples.
+//!
+//! ```text
+//! experiments sweep                        # default policies and sizes
+//! SWEEP_POLICIES=cidre,faascache,lfu \
+//! SWEEP_CACHES_GB=60,90,120 \
+//! SWEEP_WORKLOAD=fc experiments sweep
+//! ```
+//!
+//! Configuration comes from environment variables so the `experiments`
+//! CLI's flag grammar stays uniform across subcommands.
+
+use faas_metrics::Table;
+use faas_sim::StartClass;
+
+use crate::workloads::{run_policy, MAIN_POLICIES};
+use crate::{ExpCtx, Workload};
+
+fn env_list(key: &str) -> Option<Vec<String>> {
+    std::env::var(key).ok().map(|v| {
+        v.split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    })
+}
+
+/// Runs the custom sweep.
+pub fn run(ctx: &ExpCtx) {
+    let policies = env_list("SWEEP_POLICIES")
+        .unwrap_or_else(|| vec!["faascache".into(), "cidre-bss".into(), "cidre".into()]);
+    let caches: Vec<u64> = env_list("SWEEP_CACHES_GB")
+        .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![80, 100, 120]);
+    let workload = match std::env::var("SWEEP_WORKLOAD").as_deref() {
+        Ok("fc") => Workload::Fc,
+        _ => Workload::Azure,
+    };
+    crate::say!(
+        "== Custom sweep: {policies:?} x {caches:?} GB on {} ==",
+        workload.name()
+    );
+    crate::say!("   (known policies: {MAIN_POLICIES:?} plus faascache-c, lfu, greedydual)");
+
+    let trace = ctx.trace(workload);
+    let mut table = Table::new([
+        "cache [GB]",
+        "policy",
+        "avg overhead ratio [%]",
+        "cold [%]",
+        "delayed warm [%]",
+        "warm [%]",
+    ]);
+    for &gb in &caches {
+        for policy in &policies {
+            let config = ctx.sim_config(gb);
+            let report = run_policy(policy, &trace, &config);
+            table.row([
+                format!("{gb}"),
+                policy.clone(),
+                format!("{:.1}", report.avg_overhead_ratio() * 100.0),
+                format!("{:.1}", report.ratio(StartClass::Cold) * 100.0),
+                format!("{:.1}", report.ratio(StartClass::DelayedWarm) * 100.0),
+                format!("{:.1}", report.ratio(StartClass::Warm) * 100.0),
+            ]);
+        }
+    }
+    crate::say!("{table}");
+    ctx.save_csv("sweep", &table);
+}

@@ -1,0 +1,53 @@
+//! Experiment harness regenerating every table and figure of the CIDRE
+//! paper's evaluation (see `DESIGN.md` §5 for the experiment index).
+//!
+//! Each experiment is a function over an [`ExpCtx`] that prints the
+//! paper's rows/series to stdout and writes CSV files under the output
+//! directory. The `experiments` binary exposes them as subcommands:
+//!
+//! ```text
+//! cargo run --release -p cidre-bench --bin experiments -- fig12 --quick
+//! cargo run --release -p cidre-bench --bin experiments -- all
+//! ```
+//!
+//! `--quick` shrinks the workloads (fewer functions, shorter traces,
+//! proportionally smaller caches) so the full suite runs in minutes; the
+//! default scale matches the paper's sampled workloads (Table 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub mod experiments;
+mod registry;
+mod workloads;
+
+/// Global quiet switch: when set, experiment narration (tables, charts,
+/// per-run progress lines) is suppressed. The Criterion `figures` bench
+/// enables this so `cargo bench` logs stay reasonable; CSV outputs are
+/// still written.
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables experiment narration globally.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// Whether experiment narration is currently suppressed.
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// `println!` that respects the global quiet switch.
+#[macro_export]
+macro_rules! say {
+    ($($arg:tt)*) => {
+        if !$crate::is_quiet() {
+            println!($($arg)*);
+        }
+    };
+}
+
+pub use registry::{registry, run_by_name, Experiment};
+pub use workloads::{ExpCtx, Scale, Workload};

@@ -1,0 +1,603 @@
+//! A programmable FaaS host: deploy real Rust handlers, invoke them, and
+//! let a keep-alive/scaling policy manage the container fleet.
+//!
+//! Where [`crate::run_live`] replays a pre-recorded trace, [`FaasHost`]
+//! is the interactive mode: callers deploy functions (a profile plus a
+//! handler closure), fire invocations from any thread, and receive
+//! [`InvokeOutcome`]s carrying the handler's output together with the
+//! start class (warm / delayed warm / cold) and the invocation overhead
+//! the policy produced.
+//!
+//! Handler execution is real: each running invocation occupies an OS
+//! thread for as long as the handler runs. Provisioning latency — the
+//! part of a cold start a host cannot execute for you — is realised as a
+//! timed delay of `profile.cold_start` scaled by
+//! [`crate::LiveConfig::time_scale`].
+//!
+//! ```
+//! use faas_live::{FaasHost, LiveConfig};
+//! use faas_sim::baseline_lru_stack;
+//! use faas_trace::{FunctionId, FunctionProfile, TimeDelta};
+//! use std::sync::Arc;
+//!
+//! let profile = FunctionProfile::new(FunctionId(0), "double", 128, TimeDelta::from_millis(50));
+//! let host = FaasHost::start(
+//!     LiveConfig::default().time_scale(0.01),
+//!     baseline_lru_stack(),
+//!     vec![(profile, Arc::new(|x: Vec<u8>| x.iter().map(|b| b * 2).collect()))],
+//! );
+//! let out = host.invoke(FunctionId(0), vec![1, 2, 3]).wait().expect("function ran");
+//! assert_eq!(out.output, vec![2, 4, 6]);
+//! let report = host.shutdown();
+//! assert_eq!(report.requests.len(), 1);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use faas_metrics::TimeSeries;
+use faas_sim::{
+    ClusterState, ContainerId, ContainerInfo, PendingReq, PolicyCtx, PolicyStack, RequestId,
+    RequestRecord, ScaleDecision, SimReport, StartClass,
+};
+use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
+
+use crate::runtime::LiveConfig;
+use crate::timer::Timer;
+
+/// A deployed function's handler: bytes in, bytes out. Runs on its own
+/// thread for every invocation.
+pub type Handler = Arc<dyn Fn(Vec<u8>) -> Vec<u8> + Send + Sync>;
+
+/// The outcome of one invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvokeOutcome {
+    /// The handler's output.
+    pub output: Vec<u8>,
+    /// How the request started (warm / delayed warm / cold).
+    pub class: StartClass,
+    /// Invocation overhead (queueing + provisioning before the handler
+    /// began), in simulated time units.
+    pub wait: TimeDelta,
+}
+
+/// Handle on an in-flight invocation.
+#[derive(Debug)]
+pub struct InvokeHandle {
+    rx: mpsc::Receiver<InvokeOutcome>,
+}
+
+impl InvokeHandle {
+    /// Blocks until the invocation completes. Returns `None` if the host
+    /// shut down without serving it (cannot happen before
+    /// [`FaasHost::shutdown`]).
+    pub fn wait(self) -> Option<InvokeOutcome> {
+        self.rx.recv().ok()
+    }
+}
+
+enum Msg {
+    Invoke(FunctionId, Vec<u8>, mpsc::Sender<InvokeOutcome>),
+    ProvisionDone(ContainerId),
+    ExecDone(ContainerId, RequestId, Vec<u8>, Duration),
+    Tick,
+    Shutdown(mpsc::Sender<SimReport>),
+}
+
+/// A running FaaS host. See the module docs for the lifecycle.
+pub struct FaasHost {
+    tx: mpsc::Sender<Msg>,
+    orchestrator: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FaasHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaasHost").finish_non_exhaustive()
+    }
+}
+
+impl FaasHost {
+    /// Starts the host with the given deployments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deployed function's memory footprint exceeds every
+    /// worker, or if two deployments share a [`FunctionId`].
+    pub fn start(
+        config: LiveConfig,
+        stack: PolicyStack,
+        deployments: Vec<(FunctionProfile, Handler)>,
+    ) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let orchestrator_tx = tx.clone();
+        let orchestrator = std::thread::Builder::new()
+            .name("faas-host".into())
+            .spawn(move || Orchestrator::new(config, stack, deployments, orchestrator_tx, rx).run())
+            .expect("spawn orchestrator");
+        Self {
+            tx,
+            orchestrator: Some(orchestrator),
+        }
+    }
+
+    /// Fires an invocation; returns immediately with a handle.
+    pub fn invoke(&self, func: FunctionId, payload: Vec<u8>) -> InvokeHandle {
+        let (otx, orx) = mpsc::channel();
+        // The orchestrator outlives every handle until shutdown.
+        let _ = self.tx.send(Msg::Invoke(func, payload, otx));
+        InvokeHandle { rx: orx }
+    }
+
+    /// Drains in-flight invocations and returns the run report.
+    pub fn shutdown(mut self) -> SimReport {
+        let (rtx, rrx) = mpsc::channel();
+        let _ = self.tx.send(Msg::Shutdown(rtx));
+        let report = rrx.recv().expect("orchestrator returns a report");
+        if let Some(handle) = self.orchestrator.take() {
+            let _ = handle.join();
+        }
+        report
+    }
+}
+
+struct InFlight {
+    payload: Vec<u8>,
+    reply: mpsc::Sender<InvokeOutcome>,
+    arrival: TimePoint,
+    func: FunctionId,
+}
+
+struct Orchestrator {
+    cluster: ClusterState,
+    policies: PolicyStack,
+    config: LiveConfig,
+    handlers: HashMap<FunctionId, Handler>,
+    start: Instant,
+    timer: Timer<Msg>,
+    self_tx: mpsc::Sender<Msg>,
+    rx: mpsc::Receiver<Msg>,
+    next_request: u64,
+    inflight: HashMap<RequestId, InFlight>,
+    /// Wait and class stamped when each request started executing.
+    started: HashMap<RequestId, (TimeDelta, StartClass)>,
+    busy_until: HashMap<ContainerId, Vec<TimePoint>>,
+    deferred: VecDeque<(FunctionId, bool)>,
+    records: Vec<RequestRecord>,
+    memory: TimeSeries,
+    running: u64,
+    finished_at: TimePoint,
+    shutdown_reply: Option<mpsc::Sender<SimReport>>,
+    last_memory_us: u64,
+}
+
+impl Orchestrator {
+    fn new(
+        config: LiveConfig,
+        policies: PolicyStack,
+        deployments: Vec<(FunctionProfile, Handler)>,
+        self_tx: mpsc::Sender<Msg>,
+        rx: mpsc::Receiver<Msg>,
+    ) -> Self {
+        let max_worker = config.sim.workers_mb.iter().copied().max().unwrap_or(0);
+        let mut handlers = HashMap::new();
+        let mut profiles = Vec::new();
+        for (profile, handler) in deployments {
+            assert!(
+                (profile.mem_mb as u64) <= max_worker,
+                "function {} ({} MB) exceeds the largest worker ({} MB)",
+                profile.id,
+                profile.mem_mb,
+                max_worker
+            );
+            assert!(
+                handlers.insert(profile.id, handler).is_none(),
+                "duplicate deployment of {}",
+                profile.id
+            );
+            profiles.push(profile);
+        }
+        let cluster = ClusterState::with_placement(
+            &config.sim.workers_mb,
+            profiles,
+            config.sim.threads,
+            config.sim.placement,
+        );
+        let timer = Timer::spawn(self_tx.clone());
+        let start = Instant::now();
+        timer.schedule(start + scale(config.sim.tick, config.time_scale), Msg::Tick);
+        Self {
+            cluster,
+            policies,
+            config,
+            handlers,
+            start,
+            timer,
+            self_tx,
+            rx,
+            next_request: 0,
+            inflight: HashMap::new(),
+            started: HashMap::new(),
+            busy_until: HashMap::new(),
+            deferred: VecDeque::new(),
+            records: Vec::new(),
+            memory: TimeSeries::new(),
+            running: 0,
+            finished_at: TimePoint::ZERO,
+            shutdown_reply: None,
+            last_memory_us: 0,
+        }
+    }
+
+    fn now(&self) -> TimePoint {
+        let real = self.start.elapsed().as_secs_f64();
+        TimePoint::from_micros((real / self.config.time_scale * 1e6) as u64)
+    }
+
+    fn run(mut self) {
+        loop {
+            let Ok(msg) = self.rx.recv() else { return };
+            match msg {
+                Msg::Invoke(func, payload, reply) => self.on_invoke(func, payload, reply),
+                Msg::ProvisionDone(cid) => self.on_provision_done(cid),
+                Msg::ExecDone(cid, rid, output, real_exec) => {
+                    self.on_exec_done(cid, rid, output, real_exec)
+                }
+                Msg::Tick => self.on_tick(),
+                Msg::Shutdown(reply) => {
+                    self.shutdown_reply = Some(reply);
+                }
+            }
+            if let Some(reply) = self.shutdown_reply.take() {
+                if self.running == 0 && self.inflight.is_empty() {
+                    let _ = reply.send(SimReport {
+                        requests: std::mem::take(&mut self.records),
+                        memory: std::mem::take(&mut self.memory),
+                        containers_created: self.cluster.containers_created,
+                        containers_evicted: self.cluster.containers_evicted,
+                        wasted_cold_starts: self.cluster.wasted_cold_starts,
+                        finished_at: self.finished_at,
+                    });
+                    return;
+                }
+                self.shutdown_reply = Some(reply);
+            }
+        }
+    }
+
+    fn on_invoke(
+        &mut self,
+        func: FunctionId,
+        payload: Vec<u8>,
+        reply: mpsc::Sender<InvokeOutcome>,
+    ) {
+        assert!(
+            self.handlers.contains_key(&func),
+            "invoke of undeployed function {func}"
+        );
+        let now = self.now();
+        let rid = RequestId(self.next_request);
+        self.next_request += 1;
+        self.cluster.note_arrival(func, now);
+        self.inflight.insert(
+            rid,
+            InFlight {
+                payload,
+                reply,
+                arrival: now,
+                func,
+            },
+        );
+        if let Some(cid) = self.cluster.pick_available(func) {
+            self.start_exec(cid, rid, StartClass::Warm, now);
+            return;
+        }
+        let info = faas_sim::RequestInfo {
+            id: rid,
+            func,
+            arrival: now,
+        };
+        let mut decision = {
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            let d = self.policies.scaler.on_blocked(&info, &ctx);
+            if d == ScaleDecision::WaitWarm
+                && ctx.warm_count(func) == 0
+                && ctx.provisioning_count(func) == 0
+            {
+                ScaleDecision::Race
+            } else {
+                d
+            }
+        };
+        if let ScaleDecision::EnqueueOn(cid) = decision {
+            let valid = self
+                .cluster
+                .container(cid)
+                .map(|c| c.func == func && c.is_saturated())
+                .unwrap_or(false);
+            if !valid {
+                decision = ScaleDecision::ColdStart;
+            }
+        }
+        match decision {
+            ScaleDecision::ColdStart => {
+                self.cluster
+                    .fn_runtime_mut(func)
+                    .pending
+                    .push_back(PendingReq {
+                        req: rid,
+                        cold_only: true,
+                    });
+                self.request_provision(func, false, now);
+            }
+            ScaleDecision::WaitWarm => {
+                self.cluster
+                    .fn_runtime_mut(func)
+                    .pending
+                    .push_back(PendingReq {
+                        req: rid,
+                        cold_only: false,
+                    });
+            }
+            ScaleDecision::Race => {
+                self.cluster
+                    .fn_runtime_mut(func)
+                    .pending
+                    .push_back(PendingReq {
+                        req: rid,
+                        cold_only: false,
+                    });
+                self.request_provision(func, true, now);
+            }
+            ScaleDecision::EnqueueOn(cid) => {
+                self.cluster.enqueue_local(cid, rid);
+            }
+        }
+    }
+
+    fn on_provision_done(&mut self, cid: ContainerId) {
+        let now = self.now();
+        self.cluster.finish_provision(cid, now);
+        let func = self.cluster.container(cid).expect("just provisioned").func;
+        if let Some(rid) = self.pop_pending(func, true) {
+            self.start_exec(cid, rid, StartClass::Cold, now);
+        } else {
+            self.retry_deferred(now);
+        }
+    }
+
+    fn on_exec_done(
+        &mut self,
+        cid: ContainerId,
+        rid: RequestId,
+        output: Vec<u8>,
+        real_exec: Duration,
+    ) {
+        let now = self.now();
+        self.finished_at = self.finished_at.max(now);
+        self.running -= 1;
+        let flight = self.inflight.remove(&rid).expect("in-flight request");
+        self.cluster.note_completion(flight.func);
+        if let Some(ends) = self.busy_until.get_mut(&cid) {
+            if !ends.is_empty() {
+                ends.remove(0);
+            }
+            if ends.is_empty() {
+                self.busy_until.remove(&cid);
+            }
+        }
+        self.cluster.release_thread(cid);
+
+        // Record in simulated units: the exec is the measured wall time
+        // mapped back through the compression factor.
+        let exec =
+            TimeDelta::from_micros((real_exec.as_secs_f64() / self.config.time_scale * 1e6) as u64);
+        let (wait, class) = self.started.remove(&rid).expect("request was started");
+        let record = RequestRecord {
+            func: flight.func,
+            arrival: flight.arrival,
+            wait,
+            exec,
+            class,
+        };
+        self.records.push(record);
+        let _ = flight.reply.send(InvokeOutcome {
+            output,
+            class,
+            wait,
+        });
+
+        if let Some(next) = self.cluster.dequeue_local(cid) {
+            self.start_exec(cid, next, StartClass::DelayedWarm, now);
+            return;
+        }
+        if let Some(next) = self.pop_pending(flight.func, false) {
+            self.start_exec(cid, next, StartClass::DelayedWarm, now);
+            return;
+        }
+        self.retry_deferred(now);
+    }
+
+    fn on_tick(&mut self) {
+        let now = self.now();
+        let expired = {
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            self.policies.keepalive.expirations(&ctx)
+        };
+        for cid in expired {
+            let still_idle = self
+                .cluster
+                .container(cid)
+                .map(|c| c.is_idle() && c.local_queue.is_empty())
+                .unwrap_or(false);
+            if still_idle {
+                self.evict_container(cid, now);
+            }
+        }
+        if self.policies.prewarm.is_some() {
+            let wants = {
+                let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+                self.policies
+                    .prewarm
+                    .as_mut()
+                    .expect("checked")
+                    .on_tick(&ctx)
+            };
+            for func in wants {
+                let mem = self.cluster.profile(func).mem_mb;
+                if self.cluster.pick_worker(mem).is_some() {
+                    self.request_provision(func, false, now);
+                }
+            }
+        }
+        self.timer.schedule(
+            Instant::now() + scale(self.config.sim.tick, self.config.time_scale),
+            Msg::Tick,
+        );
+    }
+
+    fn start_exec(&mut self, cid: ContainerId, rid: RequestId, class: StartClass, now: TimePoint) {
+        let (was_speculative, warm_at) = {
+            let c = self.cluster.container(cid).expect("live container");
+            (c.speculative_unused, c.warm_at)
+        };
+        self.cluster.occupy_thread(cid, now);
+        self.running += 1;
+        let flight = self.inflight.get(&rid).expect("in-flight request");
+        let (func, arrival, payload) = (flight.func, flight.arrival, flight.payload.clone());
+        let wait = now.saturating_since(arrival);
+        self.started.insert(rid, (wait, class));
+        // We do not know the handler's duration ahead of time; busy_until
+        // gets a far-future placeholder so oracle queries stay sane.
+        self.busy_until
+            .entry(cid)
+            .or_default()
+            .push(now + TimeDelta::from_secs(3600));
+
+        let handler = Arc::clone(self.handlers.get(&func).expect("deployed"));
+        let done_tx = self.self_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("faas-exec-{rid}"))
+            .spawn(move || {
+                let begun = Instant::now();
+                let output = handler(payload);
+                let _ = done_tx.send(Msg::ExecDone(cid, rid, output, begun.elapsed()));
+            })
+            .expect("spawn execution thread");
+
+        let info = faas_sim::RequestInfo {
+            id: rid,
+            func,
+            arrival,
+        };
+        let cinfo = ContainerInfo::from(self.cluster.container(cid).expect("live container"));
+        let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+        if class != StartClass::Cold {
+            self.policies.keepalive.on_reuse(&cinfo, &ctx);
+        }
+        self.policies
+            .scaler
+            .on_start(&info, class, wait, TimeDelta::ZERO, &ctx);
+        if was_speculative {
+            let idle = now.saturating_since(warm_at);
+            self.policies.scaler.on_cold_outcome(func, Some(idle), &ctx);
+        }
+    }
+
+    fn request_provision(&mut self, func: FunctionId, speculative: bool, now: TimePoint) {
+        let mem = self.cluster.profile(func).mem_mb;
+        let Some(worker) = self.cluster.pick_worker(mem) else {
+            self.deferred.push_back((func, speculative));
+            return;
+        };
+        let mut evicted = Vec::new();
+        if self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+            let mut candidates: Vec<(f64, ContainerId)> = {
+                let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+                let ka = &self.policies.keepalive;
+                self.cluster.workers()[worker.0 as usize]
+                    .idle
+                    .iter()
+                    .map(|&cid| {
+                        let cinfo = ctx.container(cid).expect("idle containers are live");
+                        (ka.priority(&cinfo, &ctx), cid)
+                    })
+                    .collect()
+            };
+            candidates.sort_by(|a, b| a.partial_cmp(b).expect("priorities must not be NaN"));
+            let mut victims = candidates.into_iter();
+            while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                let Some((_, victim)) = victims.next() else {
+                    self.deferred.push_back((func, speculative));
+                    return;
+                };
+                evicted.push(self.evict_container(victim, now));
+            }
+        }
+        let cid = self.cluster.begin_provision(func, worker, now, speculative);
+        self.note_memory(now);
+        let cinfo = ContainerInfo::from(self.cluster.container(cid).expect("just created"));
+        let cold = {
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            self.policies.keepalive.on_admit(&cinfo, &evicted, &ctx);
+            self.policies
+                .keepalive
+                .provision_latency(func, &ctx)
+                .unwrap_or_else(|| self.cluster.profile(func).cold_start)
+        };
+        self.timer.schedule(
+            Instant::now() + scale(cold, self.config.time_scale),
+            Msg::ProvisionDone(cid),
+        );
+    }
+
+    fn evict_container(&mut self, cid: ContainerId, now: TimePoint) -> ContainerInfo {
+        let was_unused = self
+            .cluster
+            .container(cid)
+            .map(|c| c.speculative_unused)
+            .unwrap_or(false);
+        let info = self.cluster.evict(cid);
+        self.note_memory(now);
+        let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+        self.policies.keepalive.on_evict(&info, &ctx);
+        if was_unused {
+            self.policies.scaler.on_cold_outcome(info.func, None, &ctx);
+        }
+        info
+    }
+
+    fn pop_pending(&mut self, func: FunctionId, any: bool) -> Option<RequestId> {
+        let rt = self.cluster.fn_runtime_mut(func);
+        if any {
+            rt.pending.pop_front().map(|p| p.req)
+        } else {
+            let idx = rt.pending.iter().position(|p| !p.cold_only)?;
+            rt.pending.remove(idx).map(|p| p.req)
+        }
+    }
+
+    fn retry_deferred(&mut self, now: TimePoint) {
+        while let Some(&(func, speculative)) = self.deferred.front() {
+            let mem = self.cluster.profile(func).mem_mb;
+            if self.cluster.pick_worker(mem).is_none() {
+                break;
+            }
+            self.deferred.pop_front();
+            self.request_provision(func, speculative, now);
+        }
+    }
+
+    fn note_memory(&mut self, now: TimePoint) {
+        if self.config.sim.record_memory {
+            let us = now.as_micros().max(self.last_memory_us);
+            self.last_memory_us = us;
+            self.memory.push(us, self.cluster.used_mb() as f64);
+        }
+    }
+}
+
+fn scale(d: TimeDelta, time_scale: f64) -> Duration {
+    Duration::from_secs_f64(d.as_secs_f64() * time_scale)
+}

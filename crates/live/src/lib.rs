@@ -1,0 +1,58 @@
+//! A live mini-FaaS host: the same policies, real threads, real clocks.
+//!
+//! The paper implements CIDRE inside OpenLambda and measures a running
+//! system; the rest of this workspace reproduces that with a
+//! deterministic discrete-event simulator ([`faas_sim`]). This crate is
+//! the bridge between the two: it executes a trace against the **wall
+//! clock** — arrivals injected by a real-time driver, provisioning and
+//! execution latencies realised as actual timed delays, and an
+//! orchestrator thread that reacts to events in whatever order the OS
+//! delivers them.
+//!
+//! The same [`faas_sim::PolicyStack`] drives both hosts, so live runs
+//! double as a fidelity check for the simulator: policy decisions here
+//! race against genuine asynchrony instead of a deterministic virtual
+//! clock, and the resulting class ratios should (and do — see the
+//! integration tests) agree with simulation up to timing noise.
+//!
+//! Two modes are provided:
+//!
+//! * [`run_live`] — replay a [`faas_trace::Trace`] against the wall
+//!   clock (execution latencies realised as timed delays).
+//! * [`FaasHost`] — a programmable host: deploy real Rust handlers,
+//!   invoke them from any thread, and receive outputs together with the
+//!   warm / delayed-warm / cold outcome the policy produced.
+//!
+//! Time is compressed by [`LiveConfig::time_scale`] so a 30-minute trace
+//! can replay in seconds; waits are reported in *simulated* time units
+//! for direct comparison with [`faas_sim::SimReport`].
+//!
+//! Limitations relative to the simulator (documented, not hidden):
+//! runs are **not deterministic** (that is the point), and timing
+//! granularity is bounded by OS sleep precision, so heavily compressed
+//! traces blur near-simultaneous events.
+//!
+//! # Examples
+//!
+//! ```
+//! use faas_live::{run_live, LiveConfig};
+//! use faas_sim::baseline_lru_stack;
+//! use faas_trace::gen;
+//!
+//! let trace = gen::azure(3).functions(5).minutes(1).build();
+//! // 1 simulated second = 1 real millisecond: the minute replays in 60 ms.
+//! let config = LiveConfig::default().time_scale(0.001);
+//! let report = run_live(&trace, &config, baseline_lru_stack());
+//! assert_eq!(report.requests.len(), trace.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod host;
+mod runtime;
+mod timer;
+
+pub use host::{FaasHost, Handler, InvokeHandle, InvokeOutcome};
+pub use runtime::{run_live, LiveConfig};
+pub use timer::Timer;

@@ -1,0 +1,529 @@
+//! The live orchestrator: real-time replay of a trace under a policy
+//! stack, mirroring the simulator's mechanics on the wall clock.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use faas_metrics::TimeSeries;
+use faas_sim::{
+    ClusterState, ContainerId, ContainerInfo, PendingReq, PolicyCtx, PolicyStack, RequestId,
+    RequestRecord, ScaleDecision, SimConfig, SimReport, StartClass,
+};
+use faas_trace::{FunctionId, TimeDelta, TimePoint, Trace};
+
+/// Configuration of a live run: the cluster shape (reusing
+/// [`SimConfig`]) plus the real-seconds-per-simulated-second scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveConfig {
+    /// Cluster shape, thread capacity, and tick interval.
+    pub sim: SimConfig,
+    /// Real seconds per simulated second. `0.001` replays a simulated
+    /// minute in 60 real milliseconds.
+    pub time_scale: f64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            sim: SimConfig::default(),
+            time_scale: 0.001,
+        }
+    }
+}
+
+impl LiveConfig {
+    /// Sets the cluster configuration.
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets the time compression factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn time_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time scale must be positive"
+        );
+        self.time_scale = scale;
+        self
+    }
+}
+
+/// Internal events delivered to the orchestrator in real time.
+enum Msg {
+    Arrival(RequestId),
+    ProvisionDone(ContainerId),
+    ExecDone(ContainerId, RequestId),
+    Tick,
+}
+
+/// Replays `trace` on the live host under `stack`, returning the same
+/// report shape as [`faas_sim::run`] (waits in simulated time units).
+///
+/// # Panics
+///
+/// Panics if some function's memory footprint exceeds every worker, as
+/// in the simulator.
+pub fn run_live(trace: &Trace, config: &LiveConfig, stack: PolicyStack) -> SimReport {
+    Runtime::new(trace, config, stack).run()
+}
+
+struct Runtime<'a> {
+    cluster: ClusterState,
+    policies: PolicyStack,
+    config: &'a LiveConfig,
+    start: Instant,
+    timer: crate::timer::Timer<Msg>,
+    rx: mpsc::Receiver<Msg>,
+    requests: Vec<(FunctionId, TimePoint, TimeDelta)>,
+    started: Vec<Option<(TimePoint, StartClass)>>,
+    busy_until: HashMap<ContainerId, Vec<TimePoint>>,
+    deferred: VecDeque<(FunctionId, bool)>,
+    records: Vec<RequestRecord>,
+    memory: TimeSeries,
+    incomplete: u64,
+    finished_at: TimePoint,
+    last_memory_us: u64,
+}
+
+impl<'a> Runtime<'a> {
+    fn new(trace: &Trace, config: &'a LiveConfig, policies: PolicyStack) -> Self {
+        let max_worker = config.sim.workers_mb.iter().copied().max().unwrap_or(0);
+        for f in trace.functions() {
+            assert!(
+                (f.mem_mb as u64) <= max_worker,
+                "function {} ({} MB) exceeds the largest worker ({} MB)",
+                f.id,
+                f.mem_mb,
+                max_worker
+            );
+        }
+        let cluster = ClusterState::with_placement(
+            &config.sim.workers_mb,
+            trace.functions().iter().cloned(),
+            config.sim.threads,
+            config.sim.placement,
+        );
+        let (tx, rx) = mpsc::channel();
+        let timer = crate::timer::Timer::spawn(tx);
+        let start = Instant::now();
+        // Schedule every arrival and the first tick on the wall clock.
+        let requests: Vec<(FunctionId, TimePoint, TimeDelta)> = trace
+            .invocations()
+            .iter()
+            .map(|i| (i.func, i.arrival, i.exec))
+            .collect();
+        for (i, inv) in trace.invocations().iter().enumerate() {
+            timer.schedule(
+                start
+                    + scale(
+                        inv.arrival.saturating_since(TimePoint::ZERO),
+                        config.time_scale,
+                    ),
+                Msg::Arrival(RequestId(i as u64)),
+            );
+        }
+        if !requests.is_empty() {
+            timer.schedule(start + scale(config.sim.tick, config.time_scale), Msg::Tick);
+        }
+        let incomplete = requests.len() as u64;
+        let started = vec![None; requests.len()];
+        Self {
+            cluster,
+            policies,
+            config,
+            start,
+            timer,
+            rx,
+            requests,
+            started,
+            busy_until: HashMap::new(),
+            deferred: VecDeque::new(),
+            records: Vec::new(),
+            memory: TimeSeries::new(),
+            incomplete,
+            finished_at: TimePoint::ZERO,
+            last_memory_us: 0,
+        }
+    }
+
+    /// Current simulated time from the wall clock.
+    fn now(&self) -> TimePoint {
+        let real = self.start.elapsed().as_secs_f64();
+        TimePoint::from_micros((real / self.config.time_scale * 1e6) as u64)
+    }
+
+    fn run(mut self) -> SimReport {
+        while self.incomplete > 0 {
+            let Ok(msg) = self.rx.recv() else { break };
+            match msg {
+                Msg::Arrival(rid) => self.on_arrival(rid),
+                Msg::ProvisionDone(cid) => self.on_provision_done(cid),
+                Msg::ExecDone(cid, rid) => self.on_exec_done(cid, rid),
+                Msg::Tick => self.on_tick(),
+            }
+        }
+        assert_eq!(
+            self.incomplete, 0,
+            "live host stopped with unserved requests"
+        );
+        SimReport {
+            requests: self.records,
+            memory: self.memory,
+            containers_created: self.cluster.containers_created,
+            containers_evicted: self.cluster.containers_evicted,
+            wasted_cold_starts: self.cluster.wasted_cold_starts,
+            finished_at: self.finished_at,
+        }
+    }
+
+    fn on_arrival(&mut self, rid: RequestId) {
+        let now = self.now();
+        let func = self.requests[rid.0 as usize].0;
+        self.cluster.note_arrival(func, now);
+        if let Some(cid) = self.cluster.pick_available(func) {
+            self.start_exec(cid, rid, StartClass::Warm, now);
+            return;
+        }
+        let info = faas_sim::RequestInfo {
+            id: rid,
+            func,
+            arrival: self.requests[rid.0 as usize].1,
+        };
+        let mut decision = {
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            let d = self.policies.scaler.on_blocked(&info, &ctx);
+            if d == ScaleDecision::WaitWarm
+                && ctx.warm_count(func) == 0
+                && ctx.provisioning_count(func) == 0
+            {
+                ScaleDecision::Race
+            } else {
+                d
+            }
+        };
+        if let ScaleDecision::EnqueueOn(cid) = decision {
+            let valid = self
+                .cluster
+                .container(cid)
+                .map(|c| c.func == func && c.is_saturated())
+                .unwrap_or(false);
+            if !valid {
+                decision = ScaleDecision::ColdStart;
+            }
+        }
+        match decision {
+            ScaleDecision::ColdStart => {
+                self.cluster
+                    .fn_runtime_mut(func)
+                    .pending
+                    .push_back(PendingReq {
+                        req: rid,
+                        cold_only: true,
+                    });
+                self.request_provision(func, false, now);
+            }
+            ScaleDecision::WaitWarm => {
+                self.cluster
+                    .fn_runtime_mut(func)
+                    .pending
+                    .push_back(PendingReq {
+                        req: rid,
+                        cold_only: false,
+                    });
+            }
+            ScaleDecision::Race => {
+                self.cluster
+                    .fn_runtime_mut(func)
+                    .pending
+                    .push_back(PendingReq {
+                        req: rid,
+                        cold_only: false,
+                    });
+                self.request_provision(func, true, now);
+            }
+            ScaleDecision::EnqueueOn(cid) => {
+                self.cluster.enqueue_local(cid, rid);
+            }
+        }
+    }
+
+    fn on_provision_done(&mut self, cid: ContainerId) {
+        let now = self.now();
+        self.cluster.finish_provision(cid, now);
+        let func = self.cluster.container(cid).expect("just provisioned").func;
+        if let Some(rid) = self.pop_pending(func, true) {
+            self.start_exec(cid, rid, StartClass::Cold, now);
+        } else {
+            self.retry_deferred(now);
+        }
+    }
+
+    fn on_exec_done(&mut self, cid: ContainerId, rid: RequestId) {
+        let now = self.now();
+        self.finished_at = self.finished_at.max(now);
+        self.incomplete -= 1;
+        let func = self.requests[rid.0 as usize].0;
+        self.cluster.note_completion(func);
+        if let Some(ends) = self.busy_until.get_mut(&cid) {
+            if !ends.is_empty() {
+                ends.remove(0);
+            }
+            if ends.is_empty() {
+                self.busy_until.remove(&cid);
+            }
+        }
+        self.cluster.release_thread(cid);
+        if let Some(next) = self.cluster.dequeue_local(cid) {
+            self.start_exec(cid, next, StartClass::DelayedWarm, now);
+            return;
+        }
+        if let Some(next) = self.pop_pending(func, false) {
+            self.start_exec(cid, next, StartClass::DelayedWarm, now);
+            return;
+        }
+        self.retry_deferred(now);
+    }
+
+    fn on_tick(&mut self) {
+        let now = self.now();
+        let expired = {
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            self.policies.keepalive.expirations(&ctx)
+        };
+        for cid in expired {
+            let still_idle = self
+                .cluster
+                .container(cid)
+                .map(|c| c.is_idle() && c.local_queue.is_empty())
+                .unwrap_or(false);
+            if still_idle {
+                self.evict_container(cid, now);
+            }
+        }
+        if self.policies.prewarm.is_some() {
+            let wants = {
+                let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+                self.policies
+                    .prewarm
+                    .as_mut()
+                    .expect("checked")
+                    .on_tick(&ctx)
+            };
+            for func in wants {
+                let mem = self.cluster.profile(func).mem_mb;
+                if self.cluster.pick_worker(mem).is_some() {
+                    self.request_provision(func, false, now);
+                }
+            }
+        }
+        if self.incomplete > 0 {
+            self.timer.schedule(
+                Instant::now() + scale(self.config.sim.tick, self.config.time_scale),
+                Msg::Tick,
+            );
+        }
+    }
+
+    fn start_exec(&mut self, cid: ContainerId, rid: RequestId, class: StartClass, now: TimePoint) {
+        let (was_speculative, warm_at) = {
+            let c = self.cluster.container(cid).expect("live container");
+            (c.speculative_unused, c.warm_at)
+        };
+        self.cluster.occupy_thread(cid, now);
+        let (func, arrival, exec) = self.requests[rid.0 as usize];
+        self.started[rid.0 as usize] = Some((now, class));
+        let wait = now.saturating_since(arrival);
+        self.busy_until.entry(cid).or_default().push(now + exec);
+        self.timer.schedule(
+            Instant::now() + scale(exec, self.config.time_scale),
+            Msg::ExecDone(cid, rid),
+        );
+        self.records.push(RequestRecord {
+            func,
+            arrival,
+            wait,
+            exec,
+            class,
+        });
+
+        let info = faas_sim::RequestInfo {
+            id: rid,
+            func,
+            arrival,
+        };
+        let cinfo = ContainerInfo::from(self.cluster.container(cid).expect("live container"));
+        let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+        if class != StartClass::Cold {
+            self.policies.keepalive.on_reuse(&cinfo, &ctx);
+        }
+        self.policies
+            .scaler
+            .on_start(&info, class, wait, exec, &ctx);
+        if was_speculative {
+            let idle = now.saturating_since(warm_at);
+            self.policies.scaler.on_cold_outcome(func, Some(idle), &ctx);
+        }
+    }
+
+    fn request_provision(&mut self, func: FunctionId, speculative: bool, now: TimePoint) {
+        let mem = self.cluster.profile(func).mem_mb;
+        let Some(worker) = self.cluster.pick_worker(mem) else {
+            self.deferred.push_back((func, speculative));
+            return;
+        };
+        let mut evicted = Vec::new();
+        if self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+            let mut candidates: Vec<(f64, ContainerId)> = {
+                let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+                let ka = &self.policies.keepalive;
+                self.cluster.workers()[worker.0 as usize]
+                    .idle
+                    .iter()
+                    .map(|&cid| {
+                        let cinfo = ctx.container(cid).expect("idle containers are live");
+                        (ka.priority(&cinfo, &ctx), cid)
+                    })
+                    .collect()
+            };
+            candidates.sort_by(|a, b| a.partial_cmp(b).expect("priorities must not be NaN"));
+            let mut victims = candidates.into_iter();
+            while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                let Some((_, victim)) = victims.next() else {
+                    self.deferred.push_back((func, speculative));
+                    return;
+                };
+                evicted.push(self.evict_container(victim, now));
+            }
+        }
+        let cid = self.cluster.begin_provision(func, worker, now, speculative);
+        self.note_memory(now);
+        let cinfo = ContainerInfo::from(self.cluster.container(cid).expect("just created"));
+        let cold = {
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            self.policies.keepalive.on_admit(&cinfo, &evicted, &ctx);
+            self.policies
+                .keepalive
+                .provision_latency(func, &ctx)
+                .unwrap_or_else(|| self.cluster.profile(func).cold_start)
+        };
+        self.timer.schedule(
+            Instant::now() + scale(cold, self.config.time_scale),
+            Msg::ProvisionDone(cid),
+        );
+    }
+
+    fn evict_container(&mut self, cid: ContainerId, now: TimePoint) -> ContainerInfo {
+        let was_unused = self
+            .cluster
+            .container(cid)
+            .map(|c| c.speculative_unused)
+            .unwrap_or(false);
+        let info = self.cluster.evict(cid);
+        self.note_memory(now);
+        let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+        self.policies.keepalive.on_evict(&info, &ctx);
+        if was_unused {
+            self.policies.scaler.on_cold_outcome(info.func, None, &ctx);
+        }
+        info
+    }
+
+    fn pop_pending(&mut self, func: FunctionId, any: bool) -> Option<RequestId> {
+        let rt = self.cluster.fn_runtime_mut(func);
+        if any {
+            rt.pending.pop_front().map(|p| p.req)
+        } else {
+            let idx = rt.pending.iter().position(|p| !p.cold_only)?;
+            rt.pending.remove(idx).map(|p| p.req)
+        }
+    }
+
+    fn retry_deferred(&mut self, now: TimePoint) {
+        while let Some(&(func, speculative)) = self.deferred.front() {
+            let mem = self.cluster.profile(func).mem_mb;
+            if self.cluster.pick_worker(mem).is_none() {
+                break;
+            }
+            self.deferred.pop_front();
+            self.request_provision(func, speculative, now);
+        }
+    }
+
+    fn note_memory(&mut self, now: TimePoint) {
+        if self.config.sim.record_memory {
+            // Real-time clocks can regress below an already-recorded
+            // point within the same microsecond; clamp monotone.
+            let us = now.as_micros().max(self.last_memory_us);
+            self.last_memory_us = us;
+            self.memory.push(us, self.cluster.used_mb() as f64);
+        }
+    }
+}
+
+/// Converts a simulated span into a real sleep duration.
+fn scale(d: TimeDelta, time_scale: f64) -> Duration {
+    Duration::from_secs_f64(d.as_secs_f64() * time_scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_sim::baseline_lru_stack;
+    use faas_trace::{gen, FunctionProfile, Invocation};
+
+    fn tiny_trace() -> Trace {
+        let f = FunctionProfile::new(FunctionId(0), "f", 128, TimeDelta::from_millis(100));
+        let invs = vec![
+            Invocation {
+                func: FunctionId(0),
+                arrival: TimePoint::ZERO,
+                exec: TimeDelta::from_millis(50),
+            },
+            Invocation {
+                func: FunctionId(0),
+                arrival: TimePoint::from_millis(500),
+                exec: TimeDelta::from_millis(50),
+            },
+        ];
+        Trace::new(vec![f], invs).expect("valid")
+    }
+
+    #[test]
+    fn cold_then_warm_on_live_host() {
+        // 1 simulated ms = 20 real µs: the 550 ms trace replays in ~11 ms
+        // of real time with wide margins between events.
+        let config = LiveConfig::default().time_scale(0.02);
+        let report = run_live(&tiny_trace(), &config, baseline_lru_stack());
+        assert_eq!(report.requests.len(), 2);
+        assert_eq!(report.requests[0].class, StartClass::Cold);
+        assert_eq!(report.requests[1].class, StartClass::Warm);
+        // Wall-clock jitter: the cold wait must be at least the cold
+        // start latency, within ~50% overshoot at this compression.
+        let wait = report.requests[0].wait.as_millis_f64();
+        assert!((100.0..200.0).contains(&wait), "cold wait {wait} ms");
+    }
+
+    #[test]
+    fn conservation_on_generated_workload() {
+        let trace = gen::fc(3).functions(5).minutes(1).build();
+        let config = LiveConfig::default().time_scale(0.0005);
+        let report = run_live(&trace, &config, baseline_lru_stack());
+        assert_eq!(report.requests.len(), trace.len());
+        let total = report.ratio(StartClass::Warm)
+            + report.ratio(StartClass::Cold)
+            + report.ratio(StartClass::DelayedWarm);
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale must be positive")]
+    fn rejects_bad_scale() {
+        let _ = LiveConfig::default().time_scale(0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! A real-time delay queue: schedule messages to fire at wall-clock
+//! deadlines, delivered through a channel.
+
+use std::collections::BinaryHeap;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A scheduled entry: fire `payload` at `deadline`.
+struct Entry<T> {
+    deadline: Instant,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Handle for scheduling messages onto the timer thread.
+///
+/// Cloneable; the timer thread exits once every handle is dropped and
+/// all pending deadlines have fired.
+pub struct Timer<T> {
+    state: Arc<(Mutex<TimerState<T>>, Condvar)>,
+}
+
+impl<T> Clone for Timer<T> {
+    fn clone(&self) -> Self {
+        let (lock, _) = &*self.state;
+        lock.lock().expect("timer lock").handles += 1;
+        Self {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+struct TimerState<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    handles: usize,
+}
+
+impl<T: Send + 'static> Timer<T> {
+    /// Spawns the timer thread; fired payloads are sent to `out`.
+    pub fn spawn(out: Sender<T>) -> Self {
+        let state = Arc::new((
+            Mutex::new(TimerState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                handles: 1,
+            }),
+            Condvar::new(),
+        ));
+        let thread_state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("faas-live-timer".into())
+            .spawn(move || {
+                let (lock, cvar) = &*thread_state;
+                let mut guard = lock.lock().expect("timer lock");
+                loop {
+                    let now = Instant::now();
+                    // Fire everything due.
+                    while guard
+                        .heap
+                        .peek()
+                        .map(|e| e.deadline <= now)
+                        .unwrap_or(false)
+                    {
+                        let entry = guard.heap.pop().expect("peeked");
+                        // Ignore send errors: the consumer may have left.
+                        let _ = out.send(entry.payload);
+                    }
+                    if guard.handles == 0 && guard.heap.is_empty() {
+                        return;
+                    }
+                    guard = match guard.heap.peek().map(|e| e.deadline) {
+                        Some(next) => {
+                            let wait = next.saturating_duration_since(Instant::now());
+                            cvar.wait_timeout(guard, wait).expect("timer lock").0
+                        }
+                        None => cvar.wait(guard).expect("timer lock"),
+                    };
+                }
+            })
+            .expect("spawn timer thread");
+        Self { state }
+    }
+
+    /// Schedules `payload` to fire at `deadline`.
+    pub fn schedule(&self, deadline: Instant, payload: T) {
+        let (lock, cvar) = &*self.state;
+        let mut guard = lock.lock().expect("timer lock");
+        let seq = guard.seq;
+        guard.seq += 1;
+        guard.heap.push(Entry {
+            deadline,
+            seq,
+            payload,
+        });
+        cvar.notify_one();
+    }
+}
+
+impl<T> Drop for Timer<T> {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.state;
+        if let Ok(mut guard) = lock.lock() {
+            guard.handles -= 1;
+            cvar.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let (tx, rx) = mpsc::channel();
+        let timer = Timer::spawn(tx);
+        let base = Instant::now();
+        timer.schedule(base + Duration::from_millis(30), 3u32);
+        timer.schedule(base + Duration::from_millis(10), 1);
+        timer.schedule(base + Duration::from_millis(20), 2);
+        let got: Vec<u32> = (0..3).map(|_| rx.recv().expect("fires")).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn immediate_deadlines_fire_fast() {
+        let (tx, rx) = mpsc::channel();
+        let timer = Timer::spawn(tx);
+        timer.schedule(Instant::now(), "now");
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).expect("fires"),
+            "now"
+        );
+    }
+
+    #[test]
+    fn clone_handles_keep_timer_alive() {
+        let (tx, rx) = mpsc::channel();
+        let timer = Timer::spawn(tx);
+        let clone = timer.clone();
+        drop(timer);
+        clone.schedule(Instant::now() + Duration::from_millis(5), 7u8);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).expect("fires"), 7);
+    }
+
+    #[test]
+    fn pending_deadlines_fire_after_last_handle_drops() {
+        let (tx, rx) = mpsc::channel();
+        let timer = Timer::spawn(tx);
+        timer.schedule(Instant::now() + Duration::from_millis(20), 9u8);
+        drop(timer);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).expect("fires"), 9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Simulator-fidelity tests: the same trace and policy stack replayed on
+//! the live host must produce class ratios close to the deterministic
+//! simulation, despite wall-clock asynchrony.
+
+use std::sync::Mutex;
+
+use cidre_core::{cidre_stack, CidreConfig};
+use faas_live::{run_live, LiveConfig};
+use faas_policies::faascache_stack;
+use faas_sim::{run, PolicyStack, SimConfig, StartClass};
+use faas_trace::gen;
+
+/// Live runs race the wall clock; running several at once (the default
+/// test harness is parallel) distorts their timing. Serialise them.
+static LIVE_HOST: Mutex<()> = Mutex::new(());
+
+fn compare(label: &str, mk: fn() -> PolicyStack, tolerance: f64) {
+    // At 1:100 compression a 300 ms simulated cold start is 3 ms of real
+    // time — large against OS sleep jitter, so event ordering stays
+    // faithful; the one-minute trace replays in ~0.6 s. A loaded machine
+    // can still clump arrivals, so allow a few attempts before declaring
+    // divergence (wall-clock tests are checked on agreement, not luck:
+    // a correctness bug fails all attempts identically).
+    let _guard = LIVE_HOST.lock().expect("live-host lock");
+    let trace = gen::azure(9)
+        .functions(8)
+        .minutes(1)
+        .rate_per_function(0.5)
+        .build();
+    let sim_cfg = SimConfig::with_cache_gb(6);
+    let live_cfg = LiveConfig::default().sim(sim_cfg.clone()).time_scale(0.01);
+    let simulated = run(&trace, &sim_cfg, mk());
+
+    let mut last_error = String::new();
+    for _attempt in 0..3 {
+        let live = run_live(&trace, &live_cfg, mk());
+        assert_eq!(live.requests.len(), trace.len(), "{label}: conservation");
+        last_error.clear();
+        for class in [StartClass::Warm, StartClass::Cold, StartClass::DelayedWarm] {
+            let s = simulated.ratio(class);
+            let l = live.ratio(class);
+            if (s - l).abs() > tolerance {
+                last_error =
+                    format!("{label}: {class:?} ratio diverged, sim {s:.3} vs live {l:.3}");
+            }
+        }
+        // Wait-time distributions must also be close: earth mover's
+        // distance below 100 simulated ms (cold starts are 200-2300 ms).
+        let d = simulated
+            .wait_cdf()
+            .wasserstein_distance(&live.wait_cdf(), 100)
+            .expect("both hosts served requests");
+        if d >= 100.0 {
+            last_error = format!("{label}: wait distributions diverged by {d:.1} ms");
+        }
+        if last_error.is_empty() {
+            return;
+        }
+    }
+    panic!("{last_error}");
+}
+
+#[test]
+fn lru_matches_simulation() {
+    compare("faascache", faascache_stack, 0.10);
+}
+
+#[test]
+fn cidre_matches_simulation() {
+    compare("cidre", || cidre_stack(CidreConfig::default()), 0.12);
+}
+
+#[test]
+fn live_cold_waits_cover_provisioning_latency() {
+    let _guard = LIVE_HOST.lock().expect("live-host lock");
+    let trace = gen::fc(4)
+        .functions(6)
+        .minutes(1)
+        .rate_per_function(0.5)
+        .build();
+    let live_cfg = LiveConfig::default()
+        .sim(SimConfig::with_cache_gb(6))
+        .time_scale(0.002);
+    let report = run_live(&trace, &live_cfg, faascache_stack());
+    for r in report
+        .requests
+        .iter()
+        .filter(|r| r.class == StartClass::Cold)
+    {
+        let cold = trace.function(r.func).expect("profile").cold_start;
+        // Wall-clock waits can only overshoot the provisioning latency
+        // (scheduling jitter), never undershoot it by more than the
+        // measurement granularity.
+        assert!(
+            r.wait.as_millis_f64() >= cold.as_millis_f64() * 0.8,
+            "cold wait {} ms vs provisioning {} ms",
+            r.wait.as_millis_f64(),
+            cold.as_millis_f64()
+        );
+    }
+}

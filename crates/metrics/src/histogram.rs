@@ -1,0 +1,190 @@
+//! Fixed-bin histograms (linear or logarithmic bin edges).
+
+/// One bin of a [`Histogram`]: half-open range `[lo, hi)` and its count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramBin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the final bin).
+    pub hi: f64,
+    /// Number of samples that fell in this bin.
+    pub count: u64,
+}
+
+/// A histogram over a fixed range with linear or logarithmic bins.
+///
+/// Samples outside the configured range are clamped into the first/last
+/// bin so that totals are conserved (useful for latency tails).
+///
+/// # Examples
+///
+/// ```
+/// use faas_metrics::Histogram;
+///
+/// let mut h = Histogram::linear(0.0, 100.0, 10);
+/// h.record(5.0);
+/// h.record(95.0);
+/// h.record(1000.0); // clamped into the last bin
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.bins()[9].count, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    log: bool,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let edges = (0..=bins)
+            .map(|i| lo + (hi - lo) * i as f64 / bins as f64)
+            .collect();
+        Self {
+            edges,
+            counts: vec![0; bins],
+            log: false,
+        }
+    }
+
+    /// Creates a histogram with `bins` logarithmically spaced bins covering
+    /// `[lo, hi]`. Useful for latency data spanning orders of magnitude
+    /// (e.g. the µs-to-seconds spread in Fig. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `lo <= 0`, or `hi <= lo`.
+    pub fn logarithmic(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo > 0.0, "log histogram needs positive lower bound");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        let edges = (0..=bins)
+            .map(|i| (llo + (lhi - llo) * i as f64 / bins as f64).exp())
+            .collect();
+        Self {
+            edges,
+            counts: vec![0; bins],
+            log: true,
+        }
+    }
+
+    /// Records one sample, clamping values outside the range into the
+    /// first or last bin.
+    pub fn record(&mut self, value: f64) {
+        let idx = self.bin_index(value);
+        self.counts[idx] += 1;
+    }
+
+    fn bin_index(&self, value: f64) -> usize {
+        let n = self.counts.len();
+        if value <= self.edges[0] {
+            return 0;
+        }
+        if value >= self.edges[n] {
+            return n - 1;
+        }
+        // partition_point: first edge > value, minus one, is the bin.
+        let idx = self.edges.partition_point(|&e| e <= value);
+        (idx - 1).min(n - 1)
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the bins are logarithmically spaced.
+    pub fn is_logarithmic(&self) -> bool {
+        self.log
+    }
+
+    /// Bin views in ascending order.
+    pub fn bins(&self) -> Vec<HistogramBin> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| HistogramBin {
+                lo: self.edges[i],
+                hi: self.edges[i + 1],
+                count,
+            })
+            .collect()
+    }
+
+    /// The bin with the highest count, or `None` if no samples recorded.
+    pub fn mode_bin(&self) -> Option<HistogramBin> {
+        if self.total() == 0 {
+            return None;
+        }
+        self.bins().into_iter().max_by_key(|b| b.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::linear(0.0, 10.0, 5);
+        h.record(0.0);
+        h.record(1.9);
+        h.record(2.0);
+        h.record(9.99);
+        let bins = h.bins();
+        assert_eq!(bins[0].count, 2);
+        assert_eq!(bins[1].count, 1);
+        assert_eq!(bins[4].count, 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.record(-5.0);
+        h.record(5.0);
+        let bins = h.bins();
+        assert_eq!(bins[0].count, 1);
+        assert_eq!(bins[1].count, 1);
+    }
+
+    #[test]
+    fn log_bins_cover_orders_of_magnitude() {
+        let h = Histogram::logarithmic(1.0, 1000.0, 3);
+        let bins = h.bins();
+        assert!((bins[0].hi - 10.0).abs() < 1e-9);
+        assert!((bins[1].hi - 100.0).abs() < 1e-9);
+        assert!(h.is_logarithmic());
+    }
+
+    #[test]
+    fn upper_edge_lands_in_last_bin() {
+        let mut h = Histogram::linear(0.0, 10.0, 5);
+        h.record(10.0);
+        assert_eq!(h.bins()[4].count, 1);
+    }
+
+    #[test]
+    fn mode_bin() {
+        let mut h = Histogram::linear(0.0, 4.0, 4);
+        assert_eq!(h.mode_bin(), None);
+        h.record(2.5);
+        h.record(2.6);
+        h.record(0.5);
+        assert_eq!(h.mode_bin().expect("non-empty").count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lower bound")]
+    fn log_rejects_zero_lo() {
+        let _ = Histogram::logarithmic(0.0, 1.0, 4);
+    }
+}

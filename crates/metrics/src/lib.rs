@@ -1,0 +1,50 @@
+//! Statistical primitives shared by the CIDRE reproduction.
+//!
+//! This crate provides the measurement substrate used across the
+//! workspace: empirical CDFs ([`Cdf`]), percentile estimation
+//! ([`percentile`]), online summaries ([`Summary`]), histograms
+//! ([`Histogram`]), time-based sliding windows ([`SlidingWindow`]) as used
+//! by CIDRE's conditional speculative scaling, step-function time series
+//! ([`TimeSeries`]) for memory-usage accounting, and plain-text rendering
+//! helpers ([`Table`], [`AsciiChart`]) used by the experiment harness.
+//!
+//! For runs too large to keep every sample, [`P2Quantile`] estimates a
+//! single quantile in constant memory (the P² algorithm).
+//!
+//! Everything here is dependency-free, deterministic, and `f64`-based; the
+//! simulator keeps integer microseconds internally and converts at the
+//! measurement boundary.
+//!
+//! # Examples
+//!
+//! ```
+//! use faas_metrics::{Cdf, percentile};
+//!
+//! let cdf = Cdf::from_samples([3.0, 1.0, 2.0, 4.0]);
+//! assert_eq!(cdf.quantile(0.5), 2.5);
+//! assert_eq!(cdf.fraction_at_or_below(2.5), 0.5);
+//! assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 100.0), 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod cdf;
+mod histogram;
+mod percentile;
+mod quantile;
+mod sliding;
+mod summary;
+mod table;
+mod timeseries;
+
+pub use ascii::AsciiChart;
+pub use cdf::Cdf;
+pub use histogram::{Histogram, HistogramBin};
+pub use percentile::{mean, median, percentile, std_dev};
+pub use quantile::P2Quantile;
+pub use sliding::SlidingWindow;
+pub use summary::Summary;
+pub use table::Table;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,195 @@
+//! Time-based sliding window over scalar observations.
+
+use std::collections::VecDeque;
+
+/// A sliding window of `(timestamp, value)` observations supporting
+/// percentile and mean queries over the last `window` time units.
+///
+/// This is the bookkeeping structure behind CIDRE's conditional
+/// speculative scaling: the paper collects `Ti`, `Te`, `Tp`, and `Td`
+/// "using a 15-minute sliding window, whose size is configurable" (§3.2),
+/// and evaluates window sizes of 5/10/15 minutes and unbounded history
+/// (Fig. 18). An unbounded window (`None`) keeps all history.
+///
+/// Timestamps are opaque `u64` time units and must be recorded in
+/// non-decreasing order.
+///
+/// # Examples
+///
+/// ```
+/// use faas_metrics::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(Some(100));
+/// w.record(0, 10.0);
+/// w.record(50, 20.0);
+/// w.record(120, 30.0);
+/// // At t=140, the observation at t=0 has aged out of the 100-unit window.
+/// assert_eq!(w.median(140), Some(25.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingWindow {
+    window: Option<u64>,
+    entries: VecDeque<(u64, f64)>,
+}
+
+impl SlidingWindow {
+    /// Creates a window spanning `window` time units, or unbounded history
+    /// when `None`.
+    pub fn new(window: Option<u64>) -> Self {
+        Self {
+            window,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// The configured window span, or `None` when unbounded.
+    pub fn span(&self) -> Option<u64> {
+        self.window
+    }
+
+    /// Records an observation at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the most recently recorded timestamp.
+    pub fn record(&mut self, now: u64, value: f64) {
+        if let Some(&(last, _)) = self.entries.back() {
+            assert!(
+                now >= last,
+                "sliding window timestamps must be non-decreasing"
+            );
+        }
+        self.entries.push_back((now, value));
+        self.expire(now);
+    }
+
+    /// Drops observations that are outside the window as of `now`.
+    pub fn expire(&mut self, now: u64) {
+        if let Some(w) = self.window {
+            let cutoff = now.saturating_sub(w);
+            while let Some(&(t, _)) = self.entries.front() {
+                if t < cutoff {
+                    self.entries.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of observations currently in the window (as of the last
+    /// `record`/`expire` call).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the window currently holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `p`-th percentile (0–100) of values inside the window as of
+    /// `now`, or `None` if the window is empty.
+    pub fn percentile(&mut self, now: u64, p: f64) -> Option<f64> {
+        self.expire(now);
+        if self.entries.is_empty() {
+            return None;
+        }
+        let values: Vec<f64> = self.entries.iter().map(|&(_, v)| v).collect();
+        Some(crate::percentile(&values, p))
+    }
+
+    /// Median of values inside the window as of `now`.
+    pub fn median(&mut self, now: u64) -> Option<f64> {
+        self.percentile(now, 50.0)
+    }
+
+    /// Mean of values inside the window as of `now`.
+    pub fn mean(&mut self, now: u64) -> Option<f64> {
+        self.expire(now);
+        if self.entries.is_empty() {
+            return None;
+        }
+        Some(self.entries.iter().map(|&(_, v)| v).sum::<f64>() / self.entries.len() as f64)
+    }
+
+    /// Most recent observation value, or `None` when empty.
+    pub fn last(&self) -> Option<f64> {
+        self.entries.back().map(|&(_, v)| v)
+    }
+
+    /// Iterates over `(timestamp, value)` pairs currently retained.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut w = SlidingWindow::new(None);
+        for t in 0..1000u64 {
+            w.record(t, t as f64);
+        }
+        assert_eq!(w.len(), 1000);
+        assert_eq!(w.median(10_000), Some(499.5));
+    }
+
+    #[test]
+    fn bounded_expires_old_entries() {
+        let mut w = SlidingWindow::new(Some(10));
+        w.record(0, 1.0);
+        w.record(5, 2.0);
+        w.record(20, 3.0);
+        // cutoff at 20-10=10: entries at t=0 and t=5 expire.
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.last(), Some(3.0));
+    }
+
+    #[test]
+    fn entry_exactly_at_cutoff_is_retained() {
+        let mut w = SlidingWindow::new(Some(10));
+        w.record(0, 1.0);
+        w.record(10, 2.0);
+        assert_eq!(w.len(), 2);
+        w.expire(11);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn percentile_queries_expire_first() {
+        let mut w = SlidingWindow::new(Some(100));
+        w.record(0, 1000.0);
+        w.record(50, 10.0);
+        // At t=200, only... both expired (cutoff 100): t=0 and t=50 both < 100.
+        assert_eq!(w.median(200), None);
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let mut w = SlidingWindow::new(Some(1000));
+        w.record(0, 2.0);
+        w.record(1, 4.0);
+        assert_eq!(w.mean(1), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_record_panics() {
+        let mut w = SlidingWindow::new(None);
+        w.record(10, 1.0);
+        w.record(5, 2.0);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let mut w = SlidingWindow::new(None);
+        w.record(1, 10.0);
+        w.record(2, 20.0);
+        let v: Vec<_> = w.iter().collect();
+        assert_eq!(v, vec![(1, 10.0), (2, 20.0)]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Online (streaming) summary statistics.
+
+use std::fmt;
+
+/// Streaming summary of a sequence of observations: count, mean, variance
+/// (Welford's algorithm), min, and max. Constant memory, single pass.
+///
+/// # Examples
+///
+/// ```
+/// use faas_metrics::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.min(), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a summary from an iterator of observations.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut s = Self::new();
+        s.extend(samples);
+        s
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when no observations were recorded.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Population variance; `0.0` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (`std_dev / mean`); `0.0` if the mean is 0.
+    ///
+    /// §2.6 of the paper reports most functions having execution-time
+    /// variance around 25% — this is the statistic it refers to.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean.abs()
+        }
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one, as if all of its observations
+    /// had been recorded here.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::from_samples(iter)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean,
+            self.std_dev(),
+            self.min().unwrap_or(f64::NAN),
+            self.max().unwrap_or(f64::NAN),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::from_samples(data);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data = [1.0, 5.0, 2.0, 8.0, 3.0, 3.0];
+        let (a_data, b_data) = data.split_at(2);
+        let mut a = Summary::from_samples(a_data.iter().copied());
+        let b = Summary::from_samples(b_data.iter().copied());
+        a.merge(&b);
+        let all = Summary::from_samples(data);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::from_samples([1.0, 2.0]);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn cv_of_constant_is_zero() {
+        let s = Summary::from_samples([3.0, 3.0, 3.0]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Summary::from_samples([1.0])).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! CodeCrunch-style compression-aware keep-alive (simplified).
+//!
+//! CodeCrunch (Basu Roy et al., ASPLOS 2024) compresses idle function
+//! state under memory pressure so that restarting a recently evicted
+//! function pays a decompression cost instead of a full cold start. This
+//! reproduction models that effect as a bounded cache of "compressed
+//! images": when an idle container is evicted, its function's image
+//! enters the compressed cache; a subsequent cold start within the
+//! retention window pays a configurable fraction of the full
+//! provisioning latency. The warm-up location optimization across
+//! heterogeneous servers degenerates on the paper's homogeneous testbed
+//! (§5.1) and is not modeled.
+
+use std::collections::HashMap;
+
+use faas_sim::{ContainerInfo, KeepAlive, PolicyCtx};
+use faas_trace::{FunctionId, TimeDelta, TimePoint};
+
+/// Fraction of the full cold start paid when restoring from a compressed
+/// image (decompression + code load, no image pull or runtime build).
+const DECOMPRESS_FACTOR: f64 = 0.45;
+
+/// Maximum functions retained in the compressed cache.
+const COMPRESSED_CAPACITY: usize = 128;
+
+/// Compressed-image retention window.
+const RETENTION_SECS: u64 = 600;
+
+/// CodeCrunch keep-alive: GDSF-style cost/size priority plus a compressed
+/// image cache that discounts repeat cold starts.
+///
+/// # Examples
+///
+/// ```
+/// use faas_policies::CodeCrunchKeepAlive;
+/// use faas_sim::KeepAlive;
+/// assert_eq!(CodeCrunchKeepAlive::new().name(), "codecrunch");
+/// ```
+#[derive(Debug, Default)]
+pub struct CodeCrunchKeepAlive {
+    compressed: HashMap<FunctionId, TimePoint>,
+}
+
+impl CodeCrunchKeepAlive {
+    /// Creates the policy with an empty compressed cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `func` currently has a live compressed image.
+    pub fn has_compressed(&self, func: FunctionId, now: TimePoint) -> bool {
+        self.compressed
+            .get(&func)
+            .map(|&at| now.saturating_since(at) <= TimeDelta::from_secs(RETENTION_SECS))
+            .unwrap_or(false)
+    }
+
+    fn prune(&mut self, now: TimePoint) {
+        self.compressed
+            .retain(|_, &mut at| now.saturating_since(at) <= TimeDelta::from_secs(RETENTION_SECS));
+        if self.compressed.len() > COMPRESSED_CAPACITY {
+            // Drop the oldest entries beyond capacity.
+            let mut entries: Vec<(FunctionId, TimePoint)> =
+                self.compressed.iter().map(|(&f, &t)| (f, t)).collect();
+            entries.sort_by_key(|&(f, t)| (t, f));
+            for (f, _) in entries
+                .into_iter()
+                .take(self.compressed.len() - COMPRESSED_CAPACITY)
+            {
+                self.compressed.remove(&f);
+            }
+        }
+    }
+}
+
+impl KeepAlive for CodeCrunchKeepAlive {
+    fn name(&self) -> &str {
+        "codecrunch"
+    }
+
+    fn priority(&self, container: &ContainerInfo, ctx: &PolicyCtx<'_>) -> f64 {
+        // Cost-aware retention, with the effective cost discounted when a
+        // compressed image exists (re-creating such a container is cheap,
+        // so it is a better eviction victim).
+        let freq = ctx.freq_per_minute(container.func);
+        let mut cost_ms = container.cold_start.as_millis_f64();
+        if self.has_compressed(container.func, ctx.now) {
+            cost_ms *= DECOMPRESS_FACTOR;
+        }
+        freq * cost_ms / container.mem_mb.max(1) as f64
+    }
+
+    fn on_evict(&mut self, container: &ContainerInfo, ctx: &PolicyCtx<'_>) {
+        self.compressed.insert(container.func, ctx.now);
+        self.prune(ctx.now);
+    }
+
+    fn provision_latency(&mut self, func: FunctionId, ctx: &PolicyCtx<'_>) -> Option<TimeDelta> {
+        if self.has_compressed(func, ctx.now) {
+            Some(ctx.profile(func).cold_start.scale(DECOMPRESS_FACTOR))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_sim::{ClusterState, WorkerId};
+    use faas_trace::FunctionProfile;
+    use std::collections::HashMap as Map;
+
+    fn harness() -> ClusterState {
+        let profiles = vec![FunctionProfile::new(
+            FunctionId(0),
+            "f",
+            100,
+            TimeDelta::from_millis(1_000),
+        )];
+        ClusterState::new(&[100_000], profiles, 1)
+    }
+
+    #[test]
+    fn eviction_populates_compressed_cache() {
+        let mut cl = harness();
+        let busy = Map::new();
+        let mut cc = CodeCrunchKeepAlive::new();
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(id, TimePoint::ZERO);
+        let info = cl.evict(id);
+        cc.on_evict(&info, &PolicyCtx::new(TimePoint::from_secs(1), &cl, &busy));
+        assert!(cc.has_compressed(FunctionId(0), TimePoint::from_secs(2)));
+        let ctx = PolicyCtx::new(TimePoint::from_secs(2), &cl, &busy);
+        assert_eq!(
+            cc.provision_latency(FunctionId(0), &ctx),
+            Some(TimeDelta::from_millis(450))
+        );
+    }
+
+    #[test]
+    fn compressed_image_expires() {
+        let mut cl = harness();
+        let busy = Map::new();
+        let mut cc = CodeCrunchKeepAlive::new();
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(id, TimePoint::ZERO);
+        let info = cl.evict(id);
+        cc.on_evict(&info, &PolicyCtx::new(TimePoint::ZERO, &cl, &busy));
+        let late = TimePoint::from_secs(RETENTION_SECS + 1);
+        assert!(!cc.has_compressed(FunctionId(0), late));
+        let ctx = PolicyCtx::new(late, &cl, &busy);
+        assert_eq!(cc.provision_latency(FunctionId(0), &ctx), None);
+    }
+
+    #[test]
+    fn compressed_functions_are_better_victims() {
+        let mut cl = harness();
+        cl.note_arrival(FunctionId(0), TimePoint::ZERO);
+        let busy = Map::new();
+        let mut cc = CodeCrunchKeepAlive::new();
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(id, TimePoint::ZERO);
+        let info = ContainerInfo::from(cl.container(id).expect("live"));
+        let ctx_now = TimePoint::from_secs(30);
+        let before = cc.priority(&info, &PolicyCtx::new(ctx_now, &cl, &busy));
+        cc.compressed.insert(FunctionId(0), ctx_now);
+        let after = cc.priority(&info, &PolicyCtx::new(ctx_now, &cl, &busy));
+        assert!(after < before);
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded() {
+        let mut cc = CodeCrunchKeepAlive::new();
+        for i in 0..(COMPRESSED_CAPACITY as u32 + 50) {
+            cc.compressed
+                .insert(FunctionId(i), TimePoint::from_secs(i as u64));
+        }
+        cc.prune(TimePoint::from_secs(100));
+        assert!(cc.compressed.len() <= COMPRESSED_CAPACITY);
+        // The oldest entries were dropped.
+        assert!(!cc.compressed.contains_key(&FunctionId(0)));
+    }
+}

@@ -1,0 +1,804 @@
+//! Cluster state: workers, live containers, and per-function runtime
+//! bookkeeping. All state transitions preserving invariants live here;
+//! the engine sequences them.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
+
+use crate::config::Placement;
+use crate::container::{Container, ContainerInfo, ContainerState};
+use crate::ids::{ContainerId, RequestId, WorkerId};
+
+/// One simulated server with a fixed memory capacity.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// The worker's id.
+    pub id: WorkerId,
+    /// Total container memory this worker can host, in MB.
+    pub capacity_mb: u64,
+    /// Memory currently charged by provisioning/warm containers, in MB.
+    pub used_mb: u64,
+    /// Fully idle (evictable) containers on this worker.
+    pub idle: BTreeSet<ContainerId>,
+    /// Aggregate memory of the containers in `idle`, in MB (kept
+    /// incrementally so placement checks are O(1)).
+    pub idle_mb: u64,
+}
+
+impl Worker {
+    /// Free (uncharged) memory in MB.
+    pub fn free_mb(&self) -> u64 {
+        self.capacity_mb - self.used_mb
+    }
+
+    /// Memory reclaimable by evicting every idle container, plus free.
+    pub fn reclaimable_mb(&self) -> u64 {
+        self.free_mb() + self.idle_mb
+    }
+}
+
+/// A queued request in a function's wait channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingReq {
+    /// The waiting request.
+    pub req: RequestId,
+    /// If set, the request may only be served by a newly provisioned
+    /// container (traditional cold-start semantics); freed busy
+    /// containers skip over it.
+    pub cold_only: bool,
+}
+
+/// Per-function aggregate statistics exposed to policies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnStats {
+    /// Requests that have ever arrived for this function.
+    pub invocations: u64,
+    /// Arrival time of the function's first request.
+    pub first_arrival: Option<TimePoint>,
+    /// Requests that have finished executing.
+    pub completions: u64,
+}
+
+/// Per-function runtime state.
+#[derive(Debug, Clone, Default)]
+pub struct FnRuntime {
+    /// Function-wide wait channel (the paper's per-function FIFO).
+    pub pending: VecDeque<PendingReq>,
+    /// Containers currently provisioning.
+    pub provisioning: BTreeSet<ContainerId>,
+    /// Warm containers with at least one free thread.
+    pub free_threads: BTreeSet<ContainerId>,
+    /// All warm containers (idle or busy) of this function.
+    pub warm: BTreeSet<ContainerId>,
+    /// Aggregate statistics.
+    pub stats: FnStats,
+}
+
+/// Full mutable cluster state.
+///
+/// Exposed to policies only through the read-only [`PolicyCtx`]. The
+/// mutating methods enforce the memory-accounting and state-set
+/// invariants and panic on misuse (they are internal to the engine).
+#[derive(Debug)]
+pub struct ClusterState {
+    workers: Vec<Worker>,
+    containers: HashMap<ContainerId, Container>,
+    fns: HashMap<FunctionId, FnRuntime>,
+    profiles: HashMap<FunctionId, FunctionProfile>,
+    next_container: u64,
+    thread_capacity: u32,
+    placement: Placement,
+    round_robin_next: usize,
+    /// Total containers ever created (cold starts initiated).
+    pub containers_created: u64,
+    /// Containers evicted by the keep-alive policy.
+    pub containers_evicted: u64,
+    /// Speculative containers evicted without ever serving a request.
+    pub wasted_cold_starts: u64,
+}
+
+impl ClusterState {
+    /// Creates a cluster with the given per-worker capacities (MB) and
+    /// function profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_capacities_mb` is empty or `thread_capacity` is 0.
+    pub fn new(
+        worker_capacities_mb: &[u64],
+        profiles: impl IntoIterator<Item = FunctionProfile>,
+        thread_capacity: u32,
+    ) -> Self {
+        Self::with_placement(
+            worker_capacities_mb,
+            profiles,
+            thread_capacity,
+            Placement::MaxFree,
+        )
+    }
+
+    /// Like [`ClusterState::new`] with an explicit placement strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_capacities_mb` is empty or `thread_capacity` is 0.
+    pub fn with_placement(
+        worker_capacities_mb: &[u64],
+        profiles: impl IntoIterator<Item = FunctionProfile>,
+        thread_capacity: u32,
+        placement: Placement,
+    ) -> Self {
+        assert!(
+            !worker_capacities_mb.is_empty(),
+            "cluster needs at least one worker"
+        );
+        assert!(thread_capacity > 0, "containers need at least one thread");
+        let workers = worker_capacities_mb
+            .iter()
+            .enumerate()
+            .map(|(i, &cap)| Worker {
+                id: WorkerId(i as u16),
+                capacity_mb: cap,
+                used_mb: 0,
+                idle: BTreeSet::new(),
+                idle_mb: 0,
+            })
+            .collect();
+        Self {
+            workers,
+            containers: HashMap::new(),
+            fns: HashMap::new(),
+            profiles: profiles.into_iter().map(|p| (p.id, p)).collect(),
+            next_container: 0,
+            thread_capacity,
+            placement,
+            round_robin_next: 0,
+            containers_created: 0,
+            containers_evicted: 0,
+            wasted_cold_starts: 0,
+        }
+    }
+
+    /// The function profile for `func`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function is unknown (trace consistency guarantees
+    /// this cannot happen for trace-driven requests).
+    pub fn profile(&self, func: FunctionId) -> &FunctionProfile {
+        self.profiles.get(&func).expect("unknown function profile")
+    }
+
+    /// All function profiles.
+    pub fn profiles(&self) -> impl Iterator<Item = &FunctionProfile> {
+        self.profiles.values()
+    }
+
+    /// Immutable view of a live container.
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// Appends a request to a container's local queue (the `EnqueueOn`
+    /// scaling path). Returns `false` if the container is not live.
+    pub fn enqueue_local(&mut self, id: ContainerId, req: RequestId) -> bool {
+        match self.containers.get_mut(&id) {
+            Some(c) => {
+                c.local_queue.push_back(req);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pops the next request from a container's local queue.
+    pub fn dequeue_local(&mut self, id: ContainerId) -> Option<RequestId> {
+        self.containers.get_mut(&id)?.local_queue.pop_front()
+    }
+
+    /// Per-function runtime state, creating it lazily.
+    pub fn fn_runtime_mut(&mut self, func: FunctionId) -> &mut FnRuntime {
+        self.fns.entry(func).or_default()
+    }
+
+    /// Per-function runtime state, if the function has been seen.
+    pub fn fn_runtime(&self, func: FunctionId) -> Option<&FnRuntime> {
+        self.fns.get(&func)
+    }
+
+    /// The workers.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Total memory charged across all workers, in MB.
+    pub fn used_mb(&self) -> u64 {
+        self.workers.iter().map(|w| w.used_mb).sum()
+    }
+
+    /// Total memory capacity across all workers, in MB.
+    pub fn capacity_mb(&self) -> u64 {
+        self.workers.iter().map(|w| w.capacity_mb).sum()
+    }
+
+    /// Records a request arrival in the function's statistics.
+    pub fn note_arrival(&mut self, func: FunctionId, now: TimePoint) {
+        let stats = &mut self.fn_runtime_mut(func).stats;
+        stats.invocations += 1;
+        stats.first_arrival.get_or_insert(now);
+    }
+
+    /// Records a request completion in the function's statistics.
+    pub fn note_completion(&mut self, func: FunctionId) {
+        self.fn_runtime_mut(func).stats.completions += 1;
+    }
+
+    /// Picks the worker to host a new `mem_mb` container according to
+    /// the configured [`Placement`] strategy. Workers that cannot fit the
+    /// container even after evicting every idle container are never
+    /// chosen; returns `None` when no worker can.
+    pub fn pick_worker(&mut self, mem_mb: u32) -> Option<WorkerId> {
+        let need = mem_mb as u64;
+        match self.placement {
+            Placement::MaxFree => {
+                if let Some(w) = self
+                    .workers
+                    .iter()
+                    .filter(|w| w.free_mb() >= need)
+                    .max_by_key(|w| (w.free_mb(), std::cmp::Reverse(w.id)))
+                {
+                    return Some(w.id);
+                }
+                self.workers
+                    .iter()
+                    .filter(|w| w.reclaimable_mb() >= need)
+                    .max_by_key(|w| (w.reclaimable_mb(), std::cmp::Reverse(w.id)))
+                    .map(|w| w.id)
+            }
+            Placement::FirstFit => {
+                if let Some(w) = self.workers.iter().find(|w| w.free_mb() >= need) {
+                    return Some(w.id);
+                }
+                self.workers
+                    .iter()
+                    .find(|w| w.reclaimable_mb() >= need)
+                    .map(|w| w.id)
+            }
+            Placement::RoundRobin => {
+                let n = self.workers.len();
+                // First pass: free memory; second pass: reclaimable.
+                for pass in 0..2 {
+                    for off in 0..n {
+                        let idx = (self.round_robin_next + off) % n;
+                        let w = &self.workers[idx];
+                        let fits = if pass == 0 {
+                            w.free_mb() >= need
+                        } else {
+                            w.reclaimable_mb() >= need
+                        };
+                        if fits {
+                            self.round_robin_next = (idx + 1) % n;
+                            return Some(w.id);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Starts provisioning a container for `func` on `worker`, charging
+    /// its memory. The caller must have made room first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker lacks free memory.
+    pub fn begin_provision(
+        &mut self,
+        func: FunctionId,
+        worker: WorkerId,
+        now: TimePoint,
+        speculative: bool,
+    ) -> ContainerId {
+        let profile = self.profile(func).clone();
+        let w = &mut self.workers[worker.0 as usize];
+        assert!(
+            w.free_mb() >= profile.mem_mb as u64,
+            "begin_provision without room: need {} MB, free {} MB",
+            profile.mem_mb,
+            w.free_mb()
+        );
+        w.used_mb += profile.mem_mb as u64;
+        let id = ContainerId(self.next_container);
+        self.next_container += 1;
+        self.containers_created += 1;
+        let container = Container {
+            id,
+            func,
+            worker,
+            mem_mb: profile.mem_mb,
+            cold_start: profile.cold_start,
+            state: ContainerState::Provisioning,
+            created_at: now,
+            warm_at: now,
+            last_used: now,
+            served: 0,
+            threads_in_use: 0,
+            thread_capacity: self.thread_capacity,
+            speculative_unused: speculative,
+            local_queue: VecDeque::new(),
+        };
+        self.containers.insert(id, container);
+        self.fn_runtime_mut(func).provisioning.insert(id);
+        id
+    }
+
+    /// Marks a provisioning container warm and idle.
+    pub fn finish_provision(&mut self, id: ContainerId, now: TimePoint) {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .expect("finish_provision of unknown container");
+        assert_eq!(
+            c.state,
+            ContainerState::Provisioning,
+            "container already warm"
+        );
+        c.state = ContainerState::Warm;
+        c.warm_at = now;
+        let (func, worker) = (c.func, c.worker);
+        let rt = self.fn_runtime_mut(func);
+        rt.provisioning.remove(&id);
+        rt.free_threads.insert(id);
+        rt.warm.insert(id);
+        let mem = self.containers[&id].mem_mb as u64;
+        let w = &mut self.workers[worker.0 as usize];
+        if w.idle.insert(id) {
+            w.idle_mb += mem;
+        }
+    }
+
+    /// Occupies one execution thread on a warm container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container has no free thread.
+    pub fn occupy_thread(&mut self, id: ContainerId, now: TimePoint) {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .expect("occupy_thread of unknown container");
+        assert!(
+            c.has_free_thread(),
+            "occupy_thread on unavailable container"
+        );
+        let was_idle = c.threads_in_use == 0;
+        c.threads_in_use += 1;
+        c.last_used = now;
+        c.served += 1;
+        c.speculative_unused = false;
+        let (func, worker, saturated, mem) = (c.func, c.worker, c.is_saturated(), c.mem_mb as u64);
+        if saturated {
+            self.fn_runtime_mut(func).free_threads.remove(&id);
+        }
+        if was_idle {
+            let w = &mut self.workers[worker.0 as usize];
+            if w.idle.remove(&id) {
+                w.idle_mb -= mem;
+            }
+        }
+    }
+
+    /// Releases one execution thread on a busy container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container has no occupied thread.
+    pub fn release_thread(&mut self, id: ContainerId) {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .expect("release_thread of unknown container");
+        assert!(c.threads_in_use > 0, "release_thread on idle container");
+        c.threads_in_use -= 1;
+        let (func, worker, now_idle, mem) =
+            (c.func, c.worker, c.threads_in_use == 0, c.mem_mb as u64);
+        self.fn_runtime_mut(func).free_threads.insert(id);
+        if now_idle {
+            let w = &mut self.workers[worker.0 as usize];
+            if w.idle.insert(id) {
+                w.idle_mb += mem;
+            }
+        }
+    }
+
+    /// Evicts a fully idle warm container, releasing its memory. Returns
+    /// its final snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not idle.
+    pub fn evict(&mut self, id: ContainerId) -> ContainerInfo {
+        let c = self
+            .containers
+            .remove(&id)
+            .expect("evict of unknown container");
+        assert!(c.is_idle(), "can only evict idle containers");
+        assert!(
+            c.local_queue.is_empty(),
+            "evicting container with queued requests"
+        );
+        let info = ContainerInfo::from(&c);
+        if c.speculative_unused {
+            self.wasted_cold_starts += 1;
+        }
+        self.containers_evicted += 1;
+        let rt = self.fn_runtime_mut(c.func);
+        rt.free_threads.remove(&id);
+        rt.warm.remove(&id);
+        let w = &mut self.workers[c.worker.0 as usize];
+        if w.idle.remove(&id) {
+            w.idle_mb -= c.mem_mb as u64;
+        }
+        w.used_mb -= c.mem_mb as u64;
+        info
+    }
+
+    /// Picks the container a new request should run on: among warm
+    /// containers of `func` with a free thread, the most loaded
+    /// non-saturated one (packing requests tightly keeps more containers
+    /// fully idle and thus evictable); ties break toward the oldest id.
+    pub fn pick_available(&self, func: FunctionId) -> Option<ContainerId> {
+        let rt = self.fns.get(&func)?;
+        rt.free_threads
+            .iter()
+            .max_by_key(|cid| {
+                (
+                    self.containers[cid].threads_in_use,
+                    std::cmp::Reverse(**cid),
+                )
+            })
+            .copied()
+    }
+
+    /// Number of warm containers (idle or busy) for `func` — the paper's
+    /// `|F(c)|`.
+    pub fn warm_count(&self, func: FunctionId) -> u32 {
+        self.fns
+            .get(&func)
+            .map(|rt| rt.warm.len() as u32)
+            .unwrap_or(0)
+    }
+
+    /// Earliest time at which some currently busy thread of `func`
+    /// finishes, given the engine-maintained completion times. Used by
+    /// the oracle policy only.
+    pub fn oracle_earliest_free(
+        &self,
+        func: FunctionId,
+        busy_until: &HashMap<ContainerId, Vec<TimePoint>>,
+    ) -> Option<TimePoint> {
+        let rt = self.fns.get(&func)?;
+        rt.warm
+            .iter()
+            .filter_map(|cid| busy_until.get(cid))
+            .flat_map(|ends| ends.iter().copied())
+            .min()
+    }
+
+    /// Iterates over warm, saturated containers of `func` (candidates for
+    /// `EnqueueOn` decisions).
+    pub fn saturated_containers(&self, func: FunctionId) -> Vec<ContainerInfo> {
+        match self.fns.get(&func) {
+            None => Vec::new(),
+            Some(rt) => rt
+                .warm
+                .iter()
+                .map(|cid| &self.containers[cid])
+                .filter(|c| c.is_saturated())
+                .map(ContainerInfo::from)
+                .collect(),
+        }
+    }
+
+    /// Snapshot of every live (warm or provisioning) container.
+    pub fn all_containers(&self) -> Vec<ContainerInfo> {
+        let mut v: Vec<ContainerInfo> = self.containers.values().map(ContainerInfo::from).collect();
+        v.sort_by_key(|c| c.id);
+        v
+    }
+
+    /// Average invocations per minute since the function's first request
+    /// (the paper's Eq. 4), with the elapsed time clamped to at least one
+    /// second to keep early estimates finite.
+    pub fn freq_per_minute(&self, func: FunctionId, now: TimePoint) -> f64 {
+        let Some(rt) = self.fns.get(&func) else {
+            return 0.0;
+        };
+        let Some(first) = rt.stats.first_arrival else {
+            return 0.0;
+        };
+        let minutes = (now.saturating_since(first).as_secs_f64() / 60.0).max(1.0 / 60.0);
+        rt.stats.invocations as f64 / minutes
+    }
+}
+
+/// Read-only view of the cluster passed to policy callbacks.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCtx<'a> {
+    /// Current simulated time.
+    pub now: TimePoint,
+    cluster: &'a ClusterState,
+    busy_until: &'a HashMap<ContainerId, Vec<TimePoint>>,
+}
+
+impl<'a> PolicyCtx<'a> {
+    /// Creates a view at time `now`.
+    pub fn new(
+        now: TimePoint,
+        cluster: &'a ClusterState,
+        busy_until: &'a HashMap<ContainerId, Vec<TimePoint>>,
+    ) -> Self {
+        Self {
+            now,
+            cluster,
+            busy_until,
+        }
+    }
+
+    /// The function profile (memory, cold-start latency).
+    pub fn profile(&self, func: FunctionId) -> &FunctionProfile {
+        self.cluster.profile(func)
+    }
+
+    /// Snapshot of a live container.
+    pub fn container(&self, id: ContainerId) -> Option<ContainerInfo> {
+        self.cluster.container(id).map(ContainerInfo::from)
+    }
+
+    /// `|F(c)|`: warm containers (idle or busy) of the function.
+    pub fn warm_count(&self, func: FunctionId) -> u32 {
+        self.cluster.warm_count(func)
+    }
+
+    /// Containers currently provisioning for the function.
+    pub fn provisioning_count(&self, func: FunctionId) -> u32 {
+        self.cluster
+            .fn_runtime(func)
+            .map(|rt| rt.provisioning.len() as u32)
+            .unwrap_or(0)
+    }
+
+    /// Requests waiting in the function's channel.
+    pub fn pending_len(&self, func: FunctionId) -> usize {
+        self.cluster
+            .fn_runtime(func)
+            .map(|rt| rt.pending.len())
+            .unwrap_or(0)
+    }
+
+    /// Total invocations the function has ever received.
+    pub fn invocations(&self, func: FunctionId) -> u64 {
+        self.cluster
+            .fn_runtime(func)
+            .map(|rt| rt.stats.invocations)
+            .unwrap_or(0)
+    }
+
+    /// The paper's Eq. 4: average invocations per minute over the
+    /// function's lifetime.
+    pub fn freq_per_minute(&self, func: FunctionId) -> f64 {
+        self.cluster.freq_per_minute(func, self.now)
+    }
+
+    /// Warm, saturated containers of the function.
+    pub fn saturated_containers(&self, func: FunctionId) -> Vec<ContainerInfo> {
+        self.cluster.saturated_containers(func)
+    }
+
+    /// Snapshot of every live container (used by prewarming baselines).
+    pub fn all_containers(&self) -> Vec<ContainerInfo> {
+        self.cluster.all_containers()
+    }
+
+    /// All deployed function ids, sorted (used by prewarming baselines to
+    /// scan demand).
+    pub fn functions(&self) -> Vec<FunctionId> {
+        let mut ids: Vec<FunctionId> = self.cluster.profiles().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Memory currently in use across the cluster, in MB.
+    pub fn used_mb(&self) -> u64 {
+        self.cluster.used_mb()
+    }
+
+    /// Total cluster memory capacity, in MB.
+    pub fn capacity_mb(&self) -> u64 {
+        self.cluster.capacity_mb()
+    }
+
+    /// **Oracle only**: the remaining execution time of a busy container's
+    /// earliest-finishing thread. Online policies must not use this; the
+    /// Offline baseline does.
+    pub fn oracle_remaining(&self, id: ContainerId) -> Option<TimeDelta> {
+        let ends = self.busy_until.get(&id)?;
+        let earliest = ends.iter().min()?;
+        Some(earliest.saturating_since(self.now))
+    }
+
+    /// **Oracle only**: earliest completion among all busy threads of the
+    /// function.
+    pub fn oracle_earliest_free(&self, func: FunctionId) -> Option<TimePoint> {
+        self.cluster.oracle_earliest_free(func, self.busy_until)
+    }
+
+    /// **Oracle only**: completion times of every busy thread of the
+    /// function, sorted ascending. Lets the Offline baseline compute the
+    /// wait a request at queue position `k` would experience.
+    pub fn oracle_free_times(&self, func: FunctionId) -> Vec<TimePoint> {
+        let Some(rt) = self.cluster.fn_runtime(func) else {
+            return Vec::new();
+        };
+        let mut ends: Vec<TimePoint> = rt
+            .warm
+            .iter()
+            .filter_map(|cid| self.busy_until.get(cid))
+            .flat_map(|ends| ends.iter().copied())
+            .collect();
+        ends.sort_unstable();
+        ends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> Vec<FunctionProfile> {
+        vec![
+            FunctionProfile::new(FunctionId(0), "a", 100, TimeDelta::from_millis(100)),
+            FunctionProfile::new(FunctionId(1), "b", 300, TimeDelta::from_millis(300)),
+        ]
+    }
+
+    fn cluster(caps: &[u64]) -> ClusterState {
+        ClusterState::new(caps, profiles(), 1)
+    }
+
+    #[test]
+    fn provision_charges_memory() {
+        let mut cl = cluster(&[1000]);
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        assert_eq!(cl.used_mb(), 100);
+        assert_eq!(cl.warm_count(FunctionId(0)), 0);
+        cl.finish_provision(id, TimePoint::from_millis(100));
+        assert_eq!(cl.warm_count(FunctionId(0)), 1);
+        assert!(cl.container(id).expect("live").is_idle());
+        assert_eq!(cl.workers()[0].idle.len(), 1);
+    }
+
+    #[test]
+    fn occupy_and_release_move_sets() {
+        let mut cl = cluster(&[1000]);
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(id, TimePoint::ZERO);
+        cl.occupy_thread(id, TimePoint::from_millis(1));
+        assert!(cl.workers()[0].idle.is_empty());
+        assert_eq!(cl.pick_available(FunctionId(0)), None);
+        cl.release_thread(id);
+        assert_eq!(cl.pick_available(FunctionId(0)), Some(id));
+        assert_eq!(cl.workers()[0].idle.len(), 1);
+    }
+
+    #[test]
+    fn evict_frees_memory_and_counts_waste() {
+        let mut cl = cluster(&[1000]);
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, true);
+        cl.finish_provision(id, TimePoint::ZERO);
+        let info = cl.evict(id);
+        assert_eq!(info.id, id);
+        assert_eq!(cl.used_mb(), 0);
+        assert_eq!(cl.wasted_cold_starts, 1);
+        assert_eq!(cl.containers_evicted, 1);
+        assert_eq!(cl.warm_count(FunctionId(0)), 0);
+    }
+
+    #[test]
+    fn served_container_is_not_wasted() {
+        let mut cl = cluster(&[1000]);
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, true);
+        cl.finish_provision(id, TimePoint::ZERO);
+        cl.occupy_thread(id, TimePoint::ZERO);
+        cl.release_thread(id);
+        cl.evict(id);
+        assert_eq!(cl.wasted_cold_starts, 0);
+    }
+
+    #[test]
+    fn pick_worker_prefers_free_then_reclaimable() {
+        let mut cl = cluster(&[400, 200]);
+        // Fill worker 0 with an idle 300 MB container.
+        let id = cl.begin_provision(FunctionId(1), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(id, TimePoint::ZERO);
+        // 300 MB request: worker0 free=100, worker1 free=200 -> neither fits
+        // freely; worker0 free+idle=400 fits.
+        assert_eq!(cl.pick_worker(300), Some(WorkerId(0)));
+        // 100 MB fits freely on both; worker1 has more free (200 vs 100).
+        assert_eq!(cl.pick_worker(100), Some(WorkerId(1)));
+        // 500 MB fits nowhere.
+        assert_eq!(cl.pick_worker(500), None);
+    }
+
+    #[test]
+    fn pick_available_packs_threads() {
+        let mut cl = ClusterState::new(&[10_000], profiles(), 2);
+        let a = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        let b = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(a, TimePoint::ZERO);
+        cl.finish_provision(b, TimePoint::ZERO);
+        cl.occupy_thread(a, TimePoint::ZERO);
+        // a has 1/2 threads used, b is idle: pack onto a.
+        assert_eq!(cl.pick_available(FunctionId(0)), Some(a));
+        cl.occupy_thread(a, TimePoint::ZERO);
+        // a saturated now.
+        assert_eq!(cl.pick_available(FunctionId(0)), Some(b));
+    }
+
+    #[test]
+    fn freq_per_minute_decays_with_time() {
+        let mut cl = cluster(&[1000]);
+        cl.note_arrival(FunctionId(0), TimePoint::ZERO);
+        let f1 = cl.freq_per_minute(FunctionId(0), TimePoint::from_secs(60));
+        let f2 = cl.freq_per_minute(FunctionId(0), TimePoint::from_secs(120));
+        assert!(f1 > f2);
+        assert!((f1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freq_clamps_early_elapsed() {
+        let mut cl = cluster(&[1000]);
+        cl.note_arrival(FunctionId(0), TimePoint::ZERO);
+        // 1 invocation after 1 ms: clamped to 1 second elapsed => 60/min.
+        let f = cl.freq_per_minute(FunctionId(0), TimePoint::from_millis(1));
+        assert!((f - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "only evict idle")]
+    fn evicting_busy_panics() {
+        let mut cl = cluster(&[1000]);
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(id, TimePoint::ZERO);
+        cl.occupy_thread(id, TimePoint::ZERO);
+        cl.evict(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "without room")]
+    fn overcommitting_worker_panics() {
+        let mut cl = cluster(&[100]);
+        let _ = cl.begin_provision(FunctionId(1), WorkerId(0), TimePoint::ZERO, false);
+    }
+
+    #[test]
+    fn policy_ctx_views() {
+        let mut cl = cluster(&[1000]);
+        cl.note_arrival(FunctionId(0), TimePoint::ZERO);
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(id, TimePoint::ZERO);
+        cl.occupy_thread(id, TimePoint::ZERO);
+        let busy: HashMap<ContainerId, Vec<TimePoint>> = [(id, vec![TimePoint::from_millis(50)])]
+            .into_iter()
+            .collect();
+        let ctx = PolicyCtx::new(TimePoint::from_millis(10), &cl, &busy);
+        assert_eq!(ctx.warm_count(FunctionId(0)), 1);
+        assert_eq!(ctx.invocations(FunctionId(0)), 1);
+        assert_eq!(ctx.saturated_containers(FunctionId(0)).len(), 1);
+        assert_eq!(ctx.oracle_remaining(id), Some(TimeDelta::from_millis(40)));
+        assert_eq!(ctx.used_mb(), 100);
+        assert_eq!(ctx.capacity_mb(), 1000);
+    }
+}

@@ -1,0 +1,144 @@
+//! Simulation configuration.
+
+use faas_trace::TimeDelta;
+
+/// Strategy for choosing which worker hosts a newly provisioned
+/// container. Only workers that can fit the container (free memory, or
+/// free plus evictable idle memory) are considered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// The worker with the most free memory (falls back to the most
+    /// reclaimable memory under pressure). Balances load; the default.
+    #[default]
+    MaxFree,
+    /// Rotate through fitting workers in order, OpenLambda-style
+    /// round-robin dispatch.
+    RoundRobin,
+    /// The lowest-numbered fitting worker; packs the cluster tightly,
+    /// concentrating eviction pressure.
+    FirstFit,
+}
+
+/// Configuration of one simulation run.
+///
+/// The defaults model the paper's main testbed: a three-worker cluster
+/// with a 100 GB aggregate function cache and single-threaded containers.
+///
+/// # Examples
+///
+/// ```
+/// use faas_sim::SimConfig;
+///
+/// let cfg = SimConfig::with_cache_gb(160).container_threads(4);
+/// let total: u64 = cfg.workers_mb.iter().sum();
+/// // Three equal workers; integer division loses at most 2 MB.
+/// assert!(total > 160 * 1024 - 3 && total <= 160 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Per-worker memory capacity in MB.
+    pub workers_mb: Vec<u64>,
+    /// Execution threads per container (1 except in the Fig. 21 study).
+    pub threads: u32,
+    /// Interval between policy ticks (TTL expiration, prewarming).
+    pub tick: TimeDelta,
+    /// Whether to record the memory-usage time series.
+    pub record_memory: bool,
+    /// Worker-placement strategy for new containers.
+    pub placement: Placement,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::with_cache_gb(100)
+    }
+}
+
+impl SimConfig {
+    /// A three-worker cluster splitting `cache_gb` GB of total function
+    /// cache evenly, matching the evaluation's cache-size sweep
+    /// (80–160 GB, Fig. 12).
+    pub fn with_cache_gb(cache_gb: u64) -> Self {
+        let per_worker = cache_gb * 1024 / 3;
+        Self {
+            workers_mb: vec![per_worker; 3],
+            threads: 1,
+            tick: TimeDelta::from_secs(10),
+            record_memory: true,
+            placement: Placement::MaxFree,
+        }
+    }
+
+    /// Explicit per-worker capacities in MB.
+    pub fn workers_mb(mut self, caps: Vec<u64>) -> Self {
+        self.workers_mb = caps;
+        self
+    }
+
+    /// A uniform cluster of `n` workers with `mb` MB each (the §5.2
+    /// production configuration is `uniform(37, 384 * 1024)`).
+    pub fn uniform_workers(mut self, n: usize, mb: u64) -> Self {
+        self.workers_mb = vec![mb; n];
+        self
+    }
+
+    /// Sets threads per container (Fig. 21).
+    pub fn container_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the policy tick interval.
+    pub fn tick(mut self, tick: TimeDelta) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Disables memory time-series recording (saves memory on large runs
+    /// that don't need Fig. 16-style output).
+    pub fn without_memory_timeseries(mut self) -> Self {
+        self.record_memory = false;
+        self
+    }
+
+    /// Sets the worker-placement strategy.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_three_workers_100gb() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.workers_mb.len(), 3);
+        assert_eq!(cfg.threads, 1);
+        // Integer division loses at most 2 MB.
+        let total: u64 = cfg.workers_mb.iter().sum();
+        assert!((100 * 1024 - 3..=100 * 1024).contains(&total));
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = SimConfig::default()
+            .uniform_workers(2, 1000)
+            .container_threads(8)
+            .tick(TimeDelta::from_secs(1))
+            .without_memory_timeseries();
+        assert_eq!(cfg.workers_mb, vec![1000, 1000]);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.tick, TimeDelta::from_secs(1));
+        assert!(!cfg.record_memory);
+    }
+
+    #[test]
+    fn placement_defaults_and_overrides() {
+        assert_eq!(SimConfig::default().placement, Placement::MaxFree);
+        let cfg = SimConfig::default().placement(Placement::RoundRobin);
+        assert_eq!(cfg.placement, Placement::RoundRobin);
+    }
+}

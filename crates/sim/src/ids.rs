@@ -1,0 +1,52 @@
+//! Identifier newtypes for simulator entities.
+
+use std::fmt;
+
+/// Identifier of one container instance over the life of a simulation.
+/// Ids are never reused, even after eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ContainerId(pub u64);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of one invocation request, assigned in trace order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a worker (server) in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WorkerId(pub u16);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ContainerId(3).to_string(), "c3");
+        assert_eq!(RequestId(9).to_string(), "r9");
+        assert_eq!(WorkerId(1).to_string(), "w1");
+    }
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(ContainerId(2) < ContainerId(10));
+        assert!(RequestId(0) < RequestId(1));
+    }
+}

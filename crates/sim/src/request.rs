@@ -1,0 +1,81 @@
+//! Per-request runtime records.
+
+use faas_trace::{FunctionId, TimeDelta, TimePoint};
+
+use crate::ids::RequestId;
+use crate::policy::StartClass;
+
+/// Immutable request facts handed to policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestInfo {
+    /// The request's id (trace order).
+    pub id: RequestId,
+    /// The invoked function.
+    pub func: FunctionId,
+    /// Arrival time.
+    pub arrival: TimePoint,
+}
+
+/// Mutable per-request state tracked by the engine.
+#[derive(Debug, Clone)]
+pub struct RequestState {
+    /// The invoked function.
+    pub func: FunctionId,
+    /// Arrival time.
+    pub arrival: TimePoint,
+    /// Pure execution duration from the trace.
+    pub exec: TimeDelta,
+    /// When the request started executing, once dispatched.
+    pub started: Option<TimePoint>,
+    /// How the request started, once dispatched.
+    pub class: Option<StartClass>,
+}
+
+impl RequestState {
+    /// The invocation overhead (wait before execution), if started.
+    pub fn wait(&self) -> Option<TimeDelta> {
+        self.started.map(|s| s.saturating_since(self.arrival))
+    }
+
+    /// Request facts for policy callbacks.
+    pub fn info(&self, id: RequestId) -> RequestInfo {
+        RequestInfo {
+            id,
+            func: self.func,
+            arrival: self.arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_is_start_minus_arrival() {
+        let mut r = RequestState {
+            func: FunctionId(0),
+            arrival: TimePoint::from_millis(10),
+            exec: TimeDelta::from_millis(5),
+            started: None,
+            class: None,
+        };
+        assert_eq!(r.wait(), None);
+        r.started = Some(TimePoint::from_millis(25));
+        assert_eq!(r.wait(), Some(TimeDelta::from_millis(15)));
+    }
+
+    #[test]
+    fn info_copies_identity() {
+        let r = RequestState {
+            func: FunctionId(3),
+            arrival: TimePoint::from_millis(1),
+            exec: TimeDelta::ZERO,
+            started: None,
+            class: None,
+        };
+        let info = r.info(RequestId(7));
+        assert_eq!(info.id, RequestId(7));
+        assert_eq!(info.func, FunctionId(3));
+    }
+}

@@ -1,0 +1,274 @@
+//! The trace data model: functions, invocations, and whole traces.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{TimeDelta, TimePoint};
+
+/// Identifier of a deployed serverless function within one trace.
+///
+/// # Examples
+///
+/// ```
+/// use faas_trace::FunctionId;
+/// let f = FunctionId(7);
+/// assert_eq!(f.to_string(), "fn7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FunctionId(pub u32);
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Static properties of a deployed function: memory footprint and
+/// cold-start provisioning latency.
+///
+/// The cold start covers image download, runtime initialisation, and code
+/// loading (§2.2); per the paper's methodology it scales with the memory
+/// footprint at roughly 1–3 ms/MB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionProfile {
+    /// Trace-unique identifier.
+    pub id: FunctionId,
+    /// Human-readable label (e.g. the benchmark app the function models).
+    pub name: String,
+    /// Container memory footprint in MB; also the request's memory demand.
+    pub mem_mb: u32,
+    /// Latency to provision a fresh container for this function.
+    pub cold_start: TimeDelta,
+}
+
+impl FunctionProfile {
+    /// Convenience constructor.
+    pub fn new(
+        id: FunctionId,
+        name: impl Into<String>,
+        mem_mb: u32,
+        cold_start: TimeDelta,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            mem_mb,
+            cold_start,
+        }
+    }
+}
+
+/// One invocation request in a trace: which function, when it arrives, and
+/// how long it executes once it has a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invocation {
+    /// The invoked function.
+    pub func: FunctionId,
+    /// Arrival time of the request.
+    pub arrival: TimePoint,
+    /// Pure execution time once running (excludes all queueing and
+    /// provisioning overhead, which the policies determine).
+    pub exec: TimeDelta,
+}
+
+/// Error produced when assembling an inconsistent [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An invocation references a function with no profile.
+    UnknownFunction(FunctionId),
+    /// Two profiles share the same [`FunctionId`].
+    DuplicateFunction(FunctionId),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownFunction(id) => {
+                write!(f, "invocation references unknown function {id}")
+            }
+            TraceError::DuplicateFunction(id) => write!(f, "duplicate function profile {id}"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A complete workload trace: a set of function profiles plus a stream of
+/// invocations sorted by arrival time.
+///
+/// # Examples
+///
+/// ```
+/// use faas_trace::{FunctionId, FunctionProfile, Invocation, Trace, TimeDelta, TimePoint};
+///
+/// let f = FunctionProfile::new(FunctionId(0), "hello", 128, TimeDelta::from_millis(250));
+/// let inv = Invocation {
+///     func: FunctionId(0),
+///     arrival: TimePoint::ZERO,
+///     exec: TimeDelta::from_millis(10),
+/// };
+/// let trace = Trace::new(vec![f], vec![inv])?;
+/// assert_eq!(trace.invocations().len(), 1);
+/// # Ok::<(), faas_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    functions: Vec<FunctionProfile>,
+    invocations: Vec<Invocation>,
+    index: HashMap<FunctionId, usize>,
+}
+
+impl Trace {
+    /// Assembles a trace, sorting invocations by `(arrival, func)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::DuplicateFunction`] if two profiles share an
+    /// id, or [`TraceError::UnknownFunction`] if an invocation references
+    /// a function that has no profile.
+    pub fn new(
+        functions: Vec<FunctionProfile>,
+        mut invocations: Vec<Invocation>,
+    ) -> Result<Self, TraceError> {
+        let mut index = HashMap::with_capacity(functions.len());
+        for (i, f) in functions.iter().enumerate() {
+            if index.insert(f.id, i).is_some() {
+                return Err(TraceError::DuplicateFunction(f.id));
+            }
+        }
+        for inv in &invocations {
+            if !index.contains_key(&inv.func) {
+                return Err(TraceError::UnknownFunction(inv.func));
+            }
+        }
+        invocations.sort_by_key(|inv| (inv.arrival, inv.func));
+        Ok(Self {
+            functions,
+            invocations,
+            index,
+        })
+    }
+
+    /// All function profiles.
+    pub fn functions(&self) -> &[FunctionProfile] {
+        &self.functions
+    }
+
+    /// All invocations, sorted by arrival time.
+    pub fn invocations(&self) -> &[Invocation] {
+        &self.invocations
+    }
+
+    /// Looks up a function profile by id.
+    pub fn function(&self, id: FunctionId) -> Option<&FunctionProfile> {
+        self.index.get(&id).map(|&i| &self.functions[i])
+    }
+
+    /// The arrival time of the last invocation (the trace makespan), or
+    /// zero for an empty trace.
+    pub fn duration(&self) -> TimeDelta {
+        self.invocations
+            .last()
+            .map(|inv| inv.arrival.saturating_since(TimePoint::ZERO))
+            .unwrap_or(TimeDelta::ZERO)
+    }
+
+    /// Total number of invocations.
+    pub fn len(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Whether the trace has no invocations.
+    pub fn is_empty(&self) -> bool {
+        self.invocations.is_empty()
+    }
+
+    /// Decomposes the trace into its parts (profiles, invocations).
+    pub fn into_parts(self) -> (Vec<FunctionProfile>, Vec<Invocation>) {
+        (self.functions, self.invocations)
+    }
+
+    /// Per-function invocation counts.
+    pub fn invocation_counts(&self) -> HashMap<FunctionId, u64> {
+        let mut counts = HashMap::new();
+        for inv in &self.invocations {
+            *counts.entry(inv.func).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prof(id: u32) -> FunctionProfile {
+        FunctionProfile::new(
+            FunctionId(id),
+            format!("f{id}"),
+            128,
+            TimeDelta::from_millis(100),
+        )
+    }
+
+    fn inv(id: u32, at_ms: u64) -> Invocation {
+        Invocation {
+            func: FunctionId(id),
+            arrival: TimePoint::from_millis(at_ms),
+            exec: TimeDelta::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn sorts_invocations() {
+        let t = Trace::new(vec![prof(0)], vec![inv(0, 30), inv(0, 10), inv(0, 20)]).expect("valid");
+        let arrivals: Vec<u64> = t
+            .invocations()
+            .iter()
+            .map(|i| i.arrival.as_micros())
+            .collect();
+        assert_eq!(arrivals, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let err = Trace::new(vec![prof(0)], vec![inv(1, 0)]).expect_err("invalid");
+        assert_eq!(err, TraceError::UnknownFunction(FunctionId(1)));
+        assert!(err.to_string().contains("fn1"));
+    }
+
+    #[test]
+    fn rejects_duplicate_profiles() {
+        let err = Trace::new(vec![prof(0), prof(0)], vec![]).expect_err("invalid");
+        assert_eq!(err, TraceError::DuplicateFunction(FunctionId(0)));
+    }
+
+    #[test]
+    fn lookup_and_duration() {
+        let t = Trace::new(vec![prof(0), prof(1)], vec![inv(1, 500)]).expect("valid");
+        assert_eq!(t.function(FunctionId(1)).expect("present").name, "f1");
+        assert_eq!(t.function(FunctionId(9)), None);
+        assert_eq!(t.duration(), TimeDelta::from_millis(500));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn counts_per_function() {
+        let t = Trace::new(
+            vec![prof(0), prof(1)],
+            vec![inv(0, 0), inv(0, 1), inv(1, 2)],
+        )
+        .expect("valid");
+        let counts = t.invocation_counts();
+        assert_eq!(counts[&FunctionId(0)], 2);
+        assert_eq!(counts[&FunctionId(1)], 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! A hand-built burst-parallel scenario: a serverless image-processing
+//! service (the paper's motivating workload class — "stateless image
+//! processing" and "burst-parallel workflow processing", §2.2).
+//!
+//! A thumbnail function receives photo-upload bursts: every few seconds a
+//! batch of 40–80 images lands at once. A resize function and a metadata
+//! function share the cluster. The example shows how the speculative
+//! race turns most of the burst's would-be cold starts into delayed warm
+//! starts, and how CIP keeps the right mix of containers cached.
+//!
+//! ```text
+//! cargo run --release --example image_burst
+//! ```
+
+use cidre::core::{cidre_bss_stack, cidre_stack, CidreConfig};
+use cidre::policies::{faascache_stack, ttl_stack};
+use cidre::sim::{run, SimConfig, StartClass};
+use cidre::trace::{FunctionId, FunctionProfile, Invocation, TimeDelta, TimePoint, Trace};
+
+const THUMBNAIL: FunctionId = FunctionId(0);
+const RESIZE: FunctionId = FunctionId(1);
+const METADATA: FunctionId = FunctionId(2);
+
+/// Builds the scenario by hand: deterministic bursts, no RNG.
+fn build_trace() -> Trace {
+    let functions = vec![
+        // Thumbnails: small and fast, but the cold start (image decode
+        // libs) dwarfs the 40 ms execution.
+        FunctionProfile::new(THUMBNAIL, "thumbnail", 256, TimeDelta::from_millis(400)),
+        // Resize: heavier memory, slower executions.
+        FunctionProfile::new(RESIZE, "resize", 1024, TimeDelta::from_millis(1_200)),
+        // Metadata extraction: tiny, steady traffic.
+        FunctionProfile::new(METADATA, "metadata", 128, TimeDelta::from_millis(150)),
+    ];
+    let mut invocations = Vec::new();
+    // Ten upload bursts, 8 seconds apart.
+    for burst in 0..10u64 {
+        let burst_start = TimePoint::from_millis(burst * 8_000);
+        let batch = 40 + (burst % 3) * 20; // 40..80 images
+        for i in 0..batch {
+            // The whole batch lands within 200 ms.
+            let at = burst_start + TimeDelta::from_millis(i * 200 / batch);
+            invocations.push(Invocation {
+                func: THUMBNAIL,
+                arrival: at,
+                exec: TimeDelta::from_millis(40),
+            });
+            // A third of the images also get a full resize.
+            if i % 3 == 0 {
+                invocations.push(Invocation {
+                    func: RESIZE,
+                    arrival: at + TimeDelta::from_millis(50),
+                    exec: TimeDelta::from_millis(300),
+                });
+            }
+        }
+    }
+    // Metadata requests trickle steadily, one every 500 ms.
+    for i in 0..160u64 {
+        invocations.push(Invocation {
+            func: METADATA,
+            arrival: TimePoint::from_millis(i * 500),
+            exec: TimeDelta::from_millis(15),
+        });
+    }
+    Trace::new(functions, invocations).expect("hand-built trace is consistent")
+}
+
+fn main() {
+    let trace = build_trace();
+    println!(
+        "image pipeline: {} requests across {} functions over {:.0}s\n",
+        trace.len(),
+        trace.functions().len(),
+        trace.duration().as_secs_f64()
+    );
+    // A deliberately tight cache: the resize containers (1 GB each)
+    // compete with the thumbnail fleet.
+    let config = SimConfig::default().workers_mb(vec![6 * 1024]);
+
+    println!(
+        "{:<12} {:>7} {:>9} {:>7} {:>10} {:>10}",
+        "policy", "cold%", "delayed%", "warm%", "p99 wait", "containers"
+    );
+    for (name, stack) in [
+        ("TTL", ttl_stack()),
+        ("FaasCache", faascache_stack()),
+        ("CIDRE_BSS", cidre_bss_stack()),
+        ("CIDRE", cidre_stack(CidreConfig::default())),
+    ] {
+        let report = run(&trace, &config, stack);
+        println!(
+            "{:<12} {:>6.1}% {:>8.1}% {:>6.1}% {:>8.0}ms {:>10}",
+            name,
+            report.ratio(StartClass::Cold) * 100.0,
+            report.ratio(StartClass::DelayedWarm) * 100.0,
+            report.ratio(StartClass::Warm) * 100.0,
+            report.wait_cdf().quantile(0.99),
+            report.containers_created,
+        );
+    }
+    println!("\nburst-parallel uploads reward reusing busy thumbnail containers:");
+    println!("each 40 ms execution frees a container ten times faster than a 400 ms cold start.");
+}

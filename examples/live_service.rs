@@ -1,0 +1,117 @@
+//! A real running FaaS service: deploy Rust handlers on the live host
+//! and let CIDRE manage the container fleet while bursts of requests
+//! come in.
+//!
+//! The service has two functions: `checksum` (fast) and `compress-ish`
+//! (slow, CPU-bound run-length encoder). A burst of checksum calls
+//! exercises the delayed-warm-start race; the outputs prove the handlers
+//! really ran.
+//!
+//! ```text
+//! cargo run --release --example live_service
+//! ```
+
+use std::sync::Arc;
+
+use cidre::core::{cidre_stack, CidreConfig};
+use cidre::live::{FaasHost, Handler, LiveConfig};
+use cidre::sim::{SimConfig, StartClass};
+use cidre::trace::{FunctionId, FunctionProfile, TimeDelta};
+
+const CHECKSUM: FunctionId = FunctionId(0);
+const RLE: FunctionId = FunctionId(1);
+
+fn checksum_handler() -> Handler {
+    Arc::new(|payload: Vec<u8>| {
+        // FNV-1a over the payload.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &payload {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash.to_le_bytes().to_vec()
+    })
+}
+
+fn rle_handler() -> Handler {
+    Arc::new(|payload: Vec<u8>| {
+        let mut out = Vec::new();
+        let mut iter = payload.into_iter();
+        let Some(mut current) = iter.next() else {
+            return out;
+        };
+        let mut count: u8 = 1;
+        for b in iter {
+            if b == current && count < u8::MAX {
+                count += 1;
+            } else {
+                out.extend([count, current]);
+                current = b;
+                count = 1;
+            }
+        }
+        out.extend([count, current]);
+        out
+    })
+}
+
+fn main() {
+    let host = FaasHost::start(
+        LiveConfig::default()
+            .sim(SimConfig::with_cache_gb(2))
+            .time_scale(0.01),
+        cidre_stack(CidreConfig::default()),
+        vec![
+            (
+                FunctionProfile::new(CHECKSUM, "checksum", 128, TimeDelta::from_millis(400)),
+                checksum_handler(),
+            ),
+            (
+                FunctionProfile::new(RLE, "rle", 256, TimeDelta::from_millis(900)),
+                rle_handler(),
+            ),
+        ],
+    );
+
+    // A compression call proves output correctness.
+    let rle = host
+        .invoke(RLE, b"aaabbbbcc".to_vec())
+        .wait()
+        .expect("rle served");
+    println!(
+        "rle(b\"aaabbbbcc\") = {:?} (expect [3,97, 4,98, 2,99])",
+        rle.output
+    );
+    assert_eq!(rle.output, vec![3, b'a', 4, b'b', 2, b'c']);
+
+    // Warm the checksum function up, then fire a paced burst of 20 calls
+    // (1 ms apart = 100 ms apart in simulated time).
+    host.invoke(CHECKSUM, b"warmup".to_vec())
+        .wait()
+        .expect("warmup served");
+    let handles: Vec<_> = (0..20)
+        .map(|i| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            host.invoke(CHECKSUM, format!("payload-{i}").into_bytes())
+        })
+        .collect();
+    let mut warm = 0;
+    let mut delayed = 0;
+    let mut cold = 0;
+    for h in handles {
+        match h.wait().expect("checksum served").class {
+            StartClass::Warm => warm += 1,
+            StartClass::DelayedWarm => delayed += 1,
+            StartClass::Cold => cold += 1,
+        }
+    }
+    println!("checksum burst of 20: warm {warm}, delayed-warm {delayed}, cold {cold}");
+
+    let report = host.shutdown();
+    println!(
+        "served {} invocations with {} containers; mean wait {:.0} ms (simulated)",
+        report.requests.len(),
+        report.containers_created,
+        report.wait_summary().mean()
+    );
+}

@@ -1,0 +1,71 @@
+//! Shootout: every keep-alive/scaling policy in the repository on the
+//! same FC-shaped workload, ranked by average invocation overhead.
+//!
+//! ```text
+//! cargo run --release --example policy_shootout [functions] [minutes]
+//! ```
+
+use cidre::core::{cidre_bss_stack, cidre_stack, CidreConfig};
+use cidre::policies::{
+    codecrunch_stack, ensure_stack, faascache_c_stack, faascache_stack, flame_stack,
+    icebreaker_stack, lru_stack, offline_stack, rainbowcake_stack, ttl_stack,
+};
+use cidre::sim::{run, PolicyStack, SimConfig, StartClass};
+use cidre::trace::gen;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let functions: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let minutes: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let trace = gen::fc(7).functions(functions).minutes(minutes).build();
+    let config = SimConfig::with_cache_gb(20);
+    println!(
+        "FC-shaped workload: {} requests, {} functions, {} min, 20 GB cache\n",
+        trace.len(),
+        functions,
+        minutes
+    );
+
+    let contenders: Vec<(&str, PolicyStack)> = vec![
+        ("TTL", ttl_stack()),
+        ("LRU", lru_stack()),
+        ("FaasCache", faascache_stack()),
+        ("FaasCache-C", faascache_c_stack()),
+        ("RainbowCake", rainbowcake_stack()),
+        ("IceBreaker", icebreaker_stack()),
+        ("CodeCrunch", codecrunch_stack()),
+        ("Flame", flame_stack()),
+        ("ENSURE", ensure_stack()),
+        ("CIDRE_BSS", cidre_bss_stack()),
+        ("CIDRE", cidre_stack(CidreConfig::default())),
+        ("Offline", offline_stack(&trace)),
+    ];
+
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for (name, stack) in contenders {
+        let report = run(&trace, &config, stack);
+        rows.push((
+            name.to_string(),
+            report.avg_overhead_ratio() * 100.0,
+            report.ratio(StartClass::Cold) * 100.0,
+            report.wait_cdf().quantile(0.5),
+        ));
+    }
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"));
+
+    println!(
+        "{:<14} {:>14} {:>8} {:>12}",
+        "policy", "overhead ratio", "cold%", "median wait"
+    );
+    for (rank, (name, ratio, cold, p50)) in rows.iter().enumerate() {
+        println!(
+            "{:>2}. {:<11} {:>13.1}% {:>7.1}% {:>10.2}ms",
+            rank + 1,
+            name,
+            ratio,
+            cold,
+            p50
+        );
+    }
+}

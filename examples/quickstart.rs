@@ -1,0 +1,46 @@
+//! Quickstart: generate a workload, run CIDRE against FaasCache, and
+//! compare cold-start behaviour.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cidre::core::{cidre_stack, CidreConfig};
+use cidre::policies::faascache_stack;
+use cidre::sim::{run, SimConfig, StartClass};
+use cidre::trace::gen;
+
+fn main() {
+    // 1. A production-shaped workload: 30 Azure-like functions, 2 minutes
+    //    of bursty invocations. Deterministic in the seed.
+    let trace = gen::azure(42).functions(30).minutes(2).build();
+    println!(
+        "workload: {} invocations of {} functions",
+        trace.len(),
+        trace.functions().len()
+    );
+
+    // 2. A three-worker cluster with a 12 GB function cache.
+    let config = SimConfig::with_cache_gb(12);
+
+    // 3. Replay under both policies.
+    let cidre = run(&trace, &config, cidre_stack(CidreConfig::default()));
+    let faascache = run(&trace, &config, faascache_stack());
+
+    // 4. Compare.
+    for (name, report) in [("CIDRE", &cidre), ("FaasCache", &faascache)] {
+        println!(
+            "{name:<10} cold {:>5.1}%  delayed-warm {:>5.1}%  warm {:>5.1}%  avg overhead ratio {:>5.1}%",
+            report.ratio(StartClass::Cold) * 100.0,
+            report.ratio(StartClass::DelayedWarm) * 100.0,
+            report.ratio(StartClass::Warm) * 100.0,
+            report.avg_overhead_ratio() * 100.0,
+        );
+    }
+    let reduction = (faascache.ratio(StartClass::Cold) - cidre.ratio(StartClass::Cold))
+        / faascache.ratio(StartClass::Cold).max(f64::EPSILON);
+    println!(
+        "CIDRE reduced the cold start ratio by {:.1}%",
+        reduction * 100.0
+    );
+}

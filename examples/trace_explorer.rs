@@ -1,0 +1,70 @@
+//! Trace explorer: generate the synthetic Azure/FC workloads, print
+//! their Table-1-style statistics and concurrency distributions, and
+//! round-trip a trace through the on-disk format.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer [seed]
+//! ```
+
+use std::error::Error;
+
+use cidre::metrics::AsciiChart;
+use cidre::trace::stats::{concurrency_cdf, fraction_high_variance, TraceStats};
+use cidre::trace::{gen, io, transform, TimePoint};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let azure = gen::azure(seed).functions(80).minutes(5).build();
+    let fc = gen::fc(seed).functions(60).minutes(5).build();
+
+    for (name, trace) in [("azure", &azure), ("fc", &fc)] {
+        let s = TraceStats::compute(trace);
+        println!("== {name} ==");
+        println!("  requests: {}   functions: {}", s.invocations, s.functions);
+        println!(
+            "  rps avg/min/max: {:.0} / {:.0} / {:.0}   GBps avg/max: {:.1} / {:.1}",
+            s.rps_avg, s.rps_min, s.rps_max, s.gbps_avg, s.gbps_max
+        );
+        let conc = concurrency_cdf(trace);
+        println!(
+            "  per-function peak req/min  p50 {:.0}  p90 {:.0}  p99 {:.0}",
+            conc.quantile(0.5),
+            conc.quantile(0.9),
+            conc.quantile(0.99)
+        );
+        println!(
+            "  functions with exec-time CV >= 25%: {:.0}% (paper: 68% Azure / 59% FC)",
+            fraction_high_variance(trace, 0.25) * 100.0
+        );
+    }
+
+    // Concurrency CDFs side by side (log x-axis).
+    let mut chart = AsciiChart::new(64, 12);
+    for (name, trace) in [("azure", &azure), ("fc", &fc)] {
+        let pts: Vec<(f64, f64)> = concurrency_cdf(trace)
+            .plot_points(64)
+            .into_iter()
+            .filter(|&(x, _)| x >= 1.0)
+            .map(|(x, y)| (x.log10(), y))
+            .collect();
+        chart.series(name, pts);
+    }
+    println!("\nconcurrency CDFs (x = log10 peak req/min):\n{chart}");
+
+    // Slice the first minute, save, reload, verify.
+    let slice = transform::slice_time(&azure, TimePoint::ZERO, TimePoint::from_secs(60));
+    let path = std::env::temp_dir().join("cidre-azure-1min.csv");
+    io::write_file(&slice, &path)?;
+    let reloaded = io::read_file(&path)?;
+    assert_eq!(slice, reloaded);
+    println!(
+        "wrote and re-read {} invocations via {}",
+        reloaded.len(),
+        path.display()
+    );
+    Ok(())
+}

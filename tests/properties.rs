@@ -1,0 +1,154 @@
+//! Property-based tests over the whole stack: random traces through the
+//! simulator must uphold conservation, memory, classification, and
+//! determinism invariants; the metrics substrate must match naive
+//! recomputation.
+
+use cidre::core::{cidre_stack, CidreConfig};
+use cidre::metrics::{Cdf, SlidingWindow, Summary};
+use cidre::policies::{faascache_queue_stack, faascache_stack};
+use cidre::sim::{run, PolicyStack, SimConfig, StartClass};
+use cidre::trace::{FunctionId, FunctionProfile, Invocation, TimeDelta, TimePoint, Trace};
+use proptest::prelude::*;
+
+/// Strategy: a random, small, but structurally diverse trace.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let functions = prop::collection::vec((64u32..1024, 10u64..2_000), 1..6);
+    let invocations = prop::collection::vec((0usize..6, 0u64..60_000, 1u64..3_000), 1..120);
+    (functions, invocations).prop_map(|(fns, invs)| {
+        let profiles: Vec<FunctionProfile> = fns
+            .iter()
+            .enumerate()
+            .map(|(i, &(mem, cold))| {
+                FunctionProfile::new(
+                    FunctionId(i as u32),
+                    format!("f{i}"),
+                    mem,
+                    TimeDelta::from_millis(cold),
+                )
+            })
+            .collect();
+        let n = profiles.len();
+        let invocations: Vec<Invocation> = invs
+            .into_iter()
+            .map(|(f, at, exec)| Invocation {
+                func: FunctionId((f % n) as u32),
+                arrival: TimePoint::from_millis(at),
+                exec: TimeDelta::from_millis(exec),
+            })
+            .collect();
+        Trace::new(profiles, invocations).expect("constructed consistently")
+    })
+}
+
+fn stacks(trace: &Trace) -> Vec<PolicyStack> {
+    let _ = trace;
+    vec![
+        faascache_stack(),
+        faascache_queue_stack(Some(1)),
+        cidre_stack(CidreConfig::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulator_invariants_hold_on_random_traces(trace in arb_trace()) {
+        let config = SimConfig::default().workers_mb(vec![2_048, 2_048]);
+        for stack in stacks(&trace) {
+            let label = stack.label();
+            let report = run(&trace, &config, stack);
+            // Conservation.
+            prop_assert_eq!(report.requests.len(), trace.len(), "{}", label);
+            // Class-consistent waits. (Cold and delayed-warm waits are
+            // almost always positive, but a request arriving at the exact
+            // instant a resource frees legitimately waits zero.)
+            for r in &report.requests {
+                if r.class == StartClass::Warm {
+                    prop_assert_eq!(r.wait.as_micros(), 0);
+                }
+            }
+            // Memory bound.
+            if let Some(peak) = report.memory.max() {
+                prop_assert!(peak <= 4_096.0 + 1e-9, "{}: peak {}", label, peak);
+            }
+            // Bookkeeping sanity.
+            prop_assert!(report.containers_evicted <= report.containers_created);
+        }
+    }
+
+    #[test]
+    fn simulator_is_deterministic(trace in arb_trace()) {
+        let config = SimConfig::default().workers_mb(vec![1_536]);
+        let a = run(&trace, &config, cidre_stack(CidreConfig::default()));
+        let b = run(&trace, &config, cidre_stack(CidreConfig::default()));
+        prop_assert_eq!(a.requests, b.requests);
+        prop_assert_eq!(a.containers_created, b.containers_created);
+        prop_assert_eq!(a.wasted_cold_starts, b.wasted_cold_starts);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(samples.iter().copied());
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let x = 1e6 * i as f64 / 50.0;
+            let f = cdf.fraction_at_or_below(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        // Quantiles invert fractions.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = cdf.quantile(q);
+            prop_assert!(v >= cdf.min().expect("non-empty"));
+            prop_assert!(v <= cdf.max().expect("non-empty"));
+        }
+    }
+
+    #[test]
+    fn sliding_window_matches_naive_median(
+        entries in prop::collection::vec((0u64..10_000, 0.0f64..1e3), 1..100),
+        span in 1u64..5_000,
+    ) {
+        let mut sorted = entries.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut window = SlidingWindow::new(Some(span));
+        for &(t, v) in &sorted {
+            window.record(t, v);
+        }
+        let now = sorted.last().expect("non-empty").0;
+        let cutoff = now.saturating_sub(span);
+        let naive: Vec<f64> =
+            sorted.iter().filter(|&&(t, _)| t >= cutoff).map(|&(_, v)| v).collect();
+        match window.median(now) {
+            Some(m) => {
+                prop_assert!(!naive.is_empty());
+                let expected = cidre::metrics::median(&naive);
+                prop_assert!((m - expected).abs() < 1e-9, "window {m} vs naive {expected}");
+            }
+            None => prop_assert!(naive.is_empty()),
+        }
+    }
+
+    #[test]
+    fn summary_merge_is_associative_enough(
+        a in prop::collection::vec(-1e3f64..1e3, 1..50),
+        b in prop::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let mut merged = Summary::from_samples(a.iter().copied());
+        merged.merge(&Summary::from_samples(b.iter().copied()));
+        let all: Summary = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert!((merged.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((merged.variance() - all.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_transforms_preserve_length(trace in arb_trace(), factor in 0.1f64..4.0) {
+        use cidre::trace::transform;
+        prop_assert_eq!(transform::scale_iat(&trace, factor).len(), trace.len());
+        prop_assert_eq!(transform::scale_exec(&trace, factor).len(), trace.len());
+        prop_assert_eq!(transform::scale_cold_start(&trace, factor).len(), trace.len());
+    }
+}
