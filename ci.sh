@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate. Everything runs with --offline: the workspace is hermetic
+# (zero external crates — see DESIGN.md §3), and this script is what
+# enforces that policy. A build that reaches for the network fails here.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier 1: release build (offline) =="
+cargo build --release --offline
+
+echo "== tier 1: tests (offline) =="
+# Workspace default-members exclude crates/live, whose wall-clock
+# fidelity tests are load-sensitive; everything else runs.
+cargo test -q --offline
+
+echo "== bench smoke (offline) =="
+# Seconds-long pass over all four bench targets; merges median/p95
+# stats into BENCH_results.json and proves the harness end-to-end.
+BENCH_SMOKE=1 cargo bench --offline
+
+echo "== ci.sh: all green =="

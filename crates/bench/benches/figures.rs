@@ -1,43 +1,39 @@
-//! One Criterion target per paper artifact: each bench runs the
-//! corresponding experiment end-to-end at miniature scale (tiny traces,
-//! scaled caches), so `cargo bench` exercises the full harness for every
-//! table and figure. The paper-scale numbers come from the
-//! `experiments` binary (`cargo run --release -p cidre-bench --bin
-//! experiments -- all`), whose outputs are recorded in EXPERIMENTS.md.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! One bench per paper artifact: each runs the corresponding experiment
+//! end-to-end at miniature scale (tiny traces, scaled caches), so
+//! `cargo bench` exercises the full harness for every table and figure.
+//! The paper-scale numbers come from the `experiments` binary
+//! (`cargo run --release -p cidre-bench --bin experiments -- all`),
+//! whose outputs are recorded in EXPERIMENTS.md.
 
 use cidre_bench::{registry, ExpCtx};
+use faas_testkit::Harness;
 
-/// Miniature context: quick scale, outputs to a scratch directory, and a
+/// Miniature context: tiny scale, outputs to a scratch directory, and a
 /// fixed seed so every iteration does identical work.
 fn mini_ctx() -> ExpCtx {
     ExpCtx {
         scale: cidre_bench::Scale::Tiny,
         out_dir: std::env::temp_dir().join("cidre-bench-results"),
         seed: 42,
+        ..ExpCtx::default()
     }
 }
 
-fn bench_every_figure(c: &mut Criterion) {
+fn main() {
     cidre_bench::set_quiet(true);
     let ctx = mini_ctx();
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+    let mut h = Harness::new("figures");
+    h.samples(5);
     let mut seen = std::collections::HashSet::new();
     for exp in registry() {
         // `table2` aliases fig20's runner; bench each runner once.
         if !seen.insert(exp.run as usize) {
             continue;
         }
-        // fig12 sweeps 11 policies x 5 cache sizes x 2 traces; keep the
-        // per-iteration cost sane by sampling it like the others but it
+        // fig12 sweeps 11 policies x 5 cache sizes x 2 traces and
         // dominates the suite. That is intentional: it is the paper's
         // headline experiment.
-        group.bench_function(exp.name, |b| b.iter(|| (exp.run)(&ctx)));
+        h.bench(exp.name, || (exp.run)(&ctx));
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_every_figure);
-criterion_main!(benches);

@@ -6,14 +6,14 @@
 //! that eviction sorts by.
 
 use std::collections::HashMap;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use cidre_core::{CidreConfig, CipKeepAlive, CssScaler};
 use faas_sim::{
     ClusterState, ContainerInfo, KeepAlive, PolicyCtx, RequestId, RequestInfo, Scaler, StartClass,
     WorkerId,
 };
+use faas_testkit::Harness;
 use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
 
 fn harness() -> ClusterState {
@@ -36,7 +36,7 @@ fn harness() -> ClusterState {
     cl
 }
 
-fn bench_css_decision(c: &mut Criterion) {
+fn bench_css_decision(h: &mut Harness) {
     let cl = harness();
     let busy = HashMap::new();
     let mut css = CssScaler::new(CidreConfig::default());
@@ -61,26 +61,26 @@ fn bench_css_decision(c: &mut Criterion) {
         Some(TimeDelta::from_millis(5)),
         &PolicyCtx::new(TimePoint::from_millis(100), &cl, &busy),
     );
-    c.bench_function("css_on_blocked (Algorithm 1 decision)", |b| {
-        b.iter(|| {
-            let ctx = PolicyCtx::new(TimePoint::from_millis(200), &cl, &busy);
-            std::hint::black_box(css.on_blocked(&req, &ctx))
-        })
+    h.bench("css_on_blocked (Algorithm 1 decision)", || {
+        let ctx = PolicyCtx::new(TimePoint::from_millis(200), &cl, &busy);
+        black_box(css.on_blocked(&req, &ctx));
     });
 }
 
-fn bench_cip_priority(c: &mut Criterion) {
+fn bench_cip_priority(h: &mut Harness) {
     let cl = harness();
     let busy = HashMap::new();
     let cip = CipKeepAlive::new();
     let info = ContainerInfo::from(cl.container(faas_sim::ContainerId(0)).expect("live"));
-    c.bench_function("cip_priority (Eq. 3)", |b| {
-        b.iter(|| {
-            let ctx = PolicyCtx::new(TimePoint::from_secs(60), &cl, &busy);
-            std::hint::black_box(cip.priority(&info, &ctx))
-        })
+    h.bench("cip_priority (Eq. 3)", || {
+        let ctx = PolicyCtx::new(TimePoint::from_secs(60), &cl, &busy);
+        black_box(cip.priority(&info, &ctx));
     });
 }
 
-criterion_group!(benches, bench_css_decision, bench_cip_priority);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("policy_overhead");
+    bench_css_decision(&mut h);
+    bench_cip_priority(&mut h);
+    h.finish();
+}

@@ -1,27 +1,26 @@
 //! End-to-end simulator throughput: requests simulated per second under
 //! the CIDRE stack and the FaasCache baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 
 use cidre_core::{cidre_stack, CidreConfig};
 use faas_policies::faascache_stack;
 use faas_sim::{run, SimConfig};
+use faas_testkit::Harness;
 use faas_trace::gen;
 
-fn bench_sim(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("sim_throughput");
     let trace = gen::fc(1).functions(20).minutes(2).build();
     let config = SimConfig::default().workers_mb(vec![8_192]);
-    let mut group = c.benchmark_group("sim_throughput");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function(BenchmarkId::new("replay", "cidre"), |b| {
-        b.iter(|| run(&trace, &config, cidre_stack(CidreConfig::default())))
+    h.samples(10);
+    h.throughput_elems(trace.len() as u64);
+    h.bench("replay/cidre", || {
+        black_box(run(&trace, &config, cidre_stack(CidreConfig::default())));
     });
-    group.bench_function(BenchmarkId::new("replay", "faascache"), |b| {
-        b.iter(|| run(&trace, &config, faascache_stack()))
+    h.throughput_elems(trace.len() as u64);
+    h.bench("replay/faascache", || {
+        black_box(run(&trace, &config, faascache_stack()));
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -1,32 +1,30 @@
 //! Synthetic workload generator throughput and trace analytics cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use cidre_bench::experiments::fig9_10::opportunity_counts;
+use faas_testkit::Harness;
 use faas_trace::stats::TraceStats;
 use faas_trace::{gen, transform};
 
-fn bench_generation(c: &mut Criterion) {
-    c.bench_function("gen_azure_20fn_2min", |b| {
-        b.iter(|| gen::azure(7).functions(20).minutes(2).build())
+fn main() {
+    let mut h = Harness::new("trace_gen");
+    h.bench("gen_azure_20fn_2min", || {
+        black_box(gen::azure(7).functions(20).minutes(2).build());
     });
-    c.bench_function("gen_fc_20fn_2min", |b| {
-        b.iter(|| gen::fc(7).functions(20).minutes(2).build())
+    h.bench("gen_fc_20fn_2min", || {
+        black_box(gen::fc(7).functions(20).minutes(2).build());
     });
-}
 
-fn bench_analytics(c: &mut Criterion) {
     let trace = gen::azure(7).functions(20).minutes(2).build();
-    c.bench_function("trace_stats_table1", |b| {
-        b.iter(|| TraceStats::compute(&trace))
+    h.bench("trace_stats_table1", || {
+        black_box(TraceStats::compute(&trace));
     });
-    c.bench_function("opportunity_counts_fig9", |b| {
-        b.iter(|| opportunity_counts(&trace, 1.0, 1.0))
+    h.bench("opportunity_counts_fig9", || {
+        black_box(opportunity_counts(&trace, 1.0, 1.0));
     });
-    c.bench_function("transform_scale_iat", |b| {
-        b.iter(|| transform::scale_iat(&trace, 0.5))
+    h.bench("transform_scale_iat", || {
+        black_box(transform::scale_iat(&trace, 0.5));
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_generation, bench_analytics);
-criterion_main!(benches);

@@ -1,16 +1,27 @@
 //! CLI for the CIDRE experiment suite.
 //!
 //! ```text
-//! experiments <name|all|list> [--quick] [--out DIR] [--seed N]
+//! experiments <name|all|list> [--quick] [--out DIR] [--seed N] [--jobs N]
+//!                             [--policies A,B] [--caches-gb N,M] [--workload azure|fc]
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cidre_bench::{registry, run_by_name, ExpCtx};
+use cidre_bench::experiments::sweep::parse_list;
+use cidre_bench::{registry, run_by_name, ExpCtx, Workload};
 
 fn usage() {
-    eprintln!("usage: experiments <name|all|list> [--quick] [--out DIR] [--seed N]");
+    eprintln!("usage: experiments <name|all|list> [flags]");
+    eprintln!("  --quick           reduced scale (fewer functions, shorter traces)");
+    eprintln!("  --out DIR         CSV output directory (default: results)");
+    eprintln!("  --seed N          workload generation seed (default: 42)");
+    eprintln!("  --jobs N          worker threads for policy/cache fan-out");
+    eprintln!("                    (default: 1; 0 = all cores; results identical)");
+    eprintln!("  sweep only (flags win over SWEEP_* env vars):");
+    eprintln!("  --policies A,B,C  policies to sweep");
+    eprintln!("  --caches-gb N,M   paper-scale cache sizes in GB");
+    eprintln!("  --workload W      azure or fc");
     eprintln!("       experiments list    # show all experiment names");
 }
 
@@ -38,6 +49,43 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(0) => ctx.jobs = faas_testkit::default_jobs(),
+                Some(jobs) => ctx.jobs = jobs,
+                None => {
+                    eprintln!("--jobs requires an integer (0 = all cores)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policies" => match args.next().map(|s| parse_list(&s)) {
+                Some(list) if !list.is_empty() => ctx.sweep.policies = Some(list),
+                _ => {
+                    eprintln!("--policies requires a non-empty comma-separated list");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--caches-gb" => {
+                let parsed = args.next().map(|s| {
+                    parse_list(&s)
+                        .iter()
+                        .map(|e| e.parse::<u64>())
+                        .collect::<Result<Vec<u64>, _>>()
+                });
+                match parsed {
+                    Some(Ok(list)) if !list.is_empty() => ctx.sweep.caches_gb = Some(list),
+                    _ => {
+                        eprintln!("--caches-gb requires a non-empty comma-separated list of integers");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--workload" => match args.next().as_deref().and_then(Workload::from_name) {
+                Some(w) => ctx.sweep.workload = Some(w),
+                None => {
+                    eprintln!("--workload requires `azure` or `fc`");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown flag {other:?}");
                 usage();
@@ -54,9 +102,11 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "CIDRE experiment suite — {} scale, seed {}, output {}",
+        "CIDRE experiment suite — {} scale, seed {}, {} job{}, output {}",
         format!("{:?}", ctx.scale).to_lowercase(),
         ctx.seed,
+        ctx.jobs,
+        if ctx.jobs == 1 { "" } else { "s" },
         ctx.out_dir.display()
     );
     let start = std::time::Instant::now();

@@ -10,7 +10,7 @@
 use faas_metrics::Table;
 use faas_sim::StartClass;
 
-use crate::workloads::{run_policy, MAIN_POLICIES};
+use crate::workloads::{run_policy_batch, MAIN_POLICIES};
 use crate::{ExpCtx, Workload};
 
 /// Cache sizes swept by the paper, in GB.
@@ -38,8 +38,12 @@ fn sweep(ctx: &ExpCtx, w: Workload) {
     for &gb in CACHE_SIZES_GB {
         crate::say!("-- {} @ {gb} GB --", w.name());
         let config = ctx.sim_config(gb);
-        for (i, &policy) in MAIN_POLICIES.iter().enumerate() {
-            let report = run_policy(policy, &trace, &config);
+        let scenarios: Vec<(String, _)> = MAIN_POLICIES
+            .iter()
+            .map(|&p| (p.to_string(), config.clone()))
+            .collect();
+        let reports = run_policy_batch(ctx, &trace, &scenarios);
+        for ((i, &policy), report) in MAIN_POLICIES.iter().enumerate().zip(&reports) {
             rows[i].push(format!("{:.1}", report.avg_overhead_ratio() * 100.0));
             if BREAKDOWN_POLICIES.contains(&policy) {
                 breakdown.row([

@@ -7,12 +7,17 @@
 
 use faas_metrics::Table;
 
-use crate::workloads::{run_policy, MAIN_POLICIES};
+use crate::workloads::{run_policy_batch, MAIN_POLICIES};
 use crate::{ExpCtx, Workload};
 
 fn cdfs(ctx: &ExpCtx, w: Workload) {
     let trace = ctx.trace(w);
     let config = ctx.sim_config(100);
+    let scenarios: Vec<(String, _)> = MAIN_POLICIES
+        .iter()
+        .map(|&p| (p.to_string(), config.clone()))
+        .collect();
+    let reports = run_policy_batch(ctx, &trace, &scenarios);
     let mut table = Table::new([
         "policy",
         "overhead p50 [ms]",
@@ -21,8 +26,7 @@ fn cdfs(ctx: &ExpCtx, w: Workload) {
         "e2e p50 [ms]",
         "e2e p90 [ms]",
     ]);
-    for &policy in MAIN_POLICIES {
-        let report = run_policy(policy, &trace, &config);
+    for (&policy, report) in MAIN_POLICIES.iter().zip(&reports) {
         let wait = report.wait_cdf();
         let e2e = report.e2e_cdf();
         table.row([

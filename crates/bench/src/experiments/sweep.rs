@@ -4,40 +4,68 @@
 //!
 //! ```text
 //! experiments sweep                        # default policies and sizes
+//! experiments sweep --policies cidre,faascache,lfu \
+//!                   --caches-gb 60,90,120 --workload fc
 //! SWEEP_POLICIES=cidre,faascache,lfu \
 //! SWEEP_CACHES_GB=60,90,120 \
-//! SWEEP_WORKLOAD=fc experiments sweep
+//! SWEEP_WORKLOAD=fc experiments sweep      # same, via the environment
 //! ```
 //!
-//! Configuration comes from environment variables so the `experiments`
-//! CLI's flag grammar stays uniform across subcommands.
+//! CLI flags (carried on [`ExpCtx::sweep`]) win over the `SWEEP_*`
+//! environment variables, which win over the built-in defaults.
 
 use faas_metrics::Table;
 use faas_sim::StartClass;
 
-use crate::workloads::{run_policy, MAIN_POLICIES};
+use crate::workloads::{run_policy_batch, MAIN_POLICIES};
 use crate::{ExpCtx, Workload};
 
+/// Splits a comma-separated list, trimming whitespace, dropping empty
+/// entries, and de-duplicating while preserving first-occurrence order.
+/// `"a, b,,a , c"` parses to `["a", "b", "c"]`.
+pub fn parse_list(raw: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for entry in raw.split(',') {
+        let entry = entry.trim();
+        if !entry.is_empty() && !out.iter().any(|e| e == entry) {
+            out.push(entry.to_string());
+        }
+    }
+    out
+}
+
+/// Reads a comma-separated list from the environment. A set-but-empty
+/// variable (or one holding only separators/whitespace) is treated as
+/// unset rather than as an empty sweep.
 fn env_list(key: &str) -> Option<Vec<String>> {
-    std::env::var(key).ok().map(|v| {
-        v.split(',')
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty())
-            .collect()
-    })
+    std::env::var(key)
+        .ok()
+        .map(|v| parse_list(&v))
+        .filter(|v| !v.is_empty())
 }
 
 /// Runs the custom sweep.
 pub fn run(ctx: &ExpCtx) {
-    let policies = env_list("SWEEP_POLICIES")
+    let policies = ctx
+        .sweep
+        .policies
+        .clone()
+        .or_else(|| env_list("SWEEP_POLICIES"))
         .unwrap_or_else(|| vec!["faascache".into(), "cidre-bss".into(), "cidre".into()]);
-    let caches: Vec<u64> = env_list("SWEEP_CACHES_GB")
-        .map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+    let caches: Vec<u64> = ctx
+        .sweep
+        .caches_gb
+        .clone()
+        .or_else(|| {
+            env_list("SWEEP_CACHES_GB").map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
+        })
         .unwrap_or_else(|| vec![80, 100, 120]);
-    let workload = match std::env::var("SWEEP_WORKLOAD").as_deref() {
-        Ok("fc") => Workload::Fc,
-        _ => Workload::Azure,
-    };
+    let workload = ctx.sweep.workload.unwrap_or_else(|| {
+        match std::env::var("SWEEP_WORKLOAD").as_deref() {
+            Ok("fc") => Workload::Fc,
+            _ => Workload::Azure,
+        }
+    });
     crate::say!(
         "== Custom sweep: {policies:?} x {caches:?} GB on {} ==",
         workload.name()
@@ -45,6 +73,12 @@ pub fn run(ctx: &ExpCtx) {
     crate::say!("   (known policies: {MAIN_POLICIES:?} plus faascache-c, lfu, greedydual)");
 
     let trace = ctx.trace(workload);
+    let scenarios: Vec<(String, _)> = caches
+        .iter()
+        .flat_map(|&gb| policies.iter().map(move |p| (p.clone(), ctx.sim_config(gb))))
+        .collect();
+    let reports = run_policy_batch(ctx, &trace, &scenarios);
+
     let mut table = Table::new([
         "cache [GB]",
         "policy",
@@ -53,20 +87,43 @@ pub fn run(ctx: &ExpCtx) {
         "delayed warm [%]",
         "warm [%]",
     ]);
-    for &gb in &caches {
-        for policy in &policies {
-            let config = ctx.sim_config(gb);
-            let report = run_policy(policy, &trace, &config);
-            table.row([
-                format!("{gb}"),
-                policy.clone(),
-                format!("{:.1}", report.avg_overhead_ratio() * 100.0),
-                format!("{:.1}", report.ratio(StartClass::Cold) * 100.0),
-                format!("{:.1}", report.ratio(StartClass::DelayedWarm) * 100.0),
-                format!("{:.1}", report.ratio(StartClass::Warm) * 100.0),
-            ]);
-        }
+    let grid = caches.iter().flat_map(|&gb| policies.iter().map(move |p| (gb, p)));
+    for ((gb, policy), report) in grid.zip(&reports) {
+        table.row([
+            format!("{gb}"),
+            policy.clone(),
+            format!("{:.1}", report.avg_overhead_ratio() * 100.0),
+            format!("{:.1}", report.ratio(StartClass::Cold) * 100.0),
+            format!("{:.1}", report.ratio(StartClass::DelayedWarm) * 100.0),
+            format!("{:.1}", report.ratio(StartClass::Warm) * 100.0),
+        ]);
     }
     crate::say!("{table}");
     ctx.save_csv("sweep", &table);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_list_splits_and_trims() {
+        assert_eq!(parse_list("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(parse_list("  a , b\t, c "), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn parse_list_drops_empty_entries() {
+        assert_eq!(parse_list(""), Vec::<String>::new());
+        assert_eq!(parse_list("   "), Vec::<String>::new());
+        assert_eq!(parse_list(",,,"), Vec::<String>::new());
+        assert_eq!(parse_list("a,,b,"), vec!["a", "b"]);
+        assert_eq!(parse_list(" , a ,  "), vec!["a"]);
+    }
+
+    #[test]
+    fn parse_list_dedups_preserving_order() {
+        assert_eq!(parse_list("b,a,b,c,a"), vec!["b", "a", "c"]);
+        assert_eq!(parse_list("cidre, cidre ,cidre"), vec!["cidre"]);
+    }
 }

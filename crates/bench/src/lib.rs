@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 pub mod experiments;
 mod registry;
-mod workloads;
+pub mod workloads;
 
 /// Global quiet switch: when set, experiment narration (tables, charts,
 /// per-run progress lines) is suppressed. The Criterion `figures` bench
@@ -50,4 +50,4 @@ macro_rules! say {
 }
 
 pub use registry::{registry, run_by_name, Experiment};
-pub use workloads::{ExpCtx, Scale, Workload};
+pub use workloads::{ExpCtx, Scale, SweepOverrides, Workload};

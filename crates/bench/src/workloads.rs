@@ -29,6 +29,15 @@ impl Workload {
             Workload::Fc => "fc",
         }
     }
+
+    /// Parses a workload from its display name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "azure" => Some(Workload::Azure),
+            "fc" => Some(Workload::Fc),
+            _ => None,
+        }
+    }
 }
 
 /// Workload scale an experiment context runs at.
@@ -43,7 +52,20 @@ pub enum Scale {
     Tiny,
 }
 
-/// Experiment context: scale, seed, and output directory.
+/// CLI overrides for the custom `sweep` experiment. Each field, when
+/// set, takes precedence over the corresponding `SWEEP_*` environment
+/// variable (which in turn overrides the built-in default).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepOverrides {
+    /// Policies to sweep (`--policies a,b,c`).
+    pub policies: Option<Vec<String>>,
+    /// Paper-scale cache sizes in GB (`--caches-gb 80,100`).
+    pub caches_gb: Option<Vec<u64>>,
+    /// Workload to replay (`--workload azure|fc`).
+    pub workload: Option<Workload>,
+}
+
+/// Experiment context: scale, seed, parallelism, and output directory.
 #[derive(Debug, Clone)]
 pub struct ExpCtx {
     /// Workload and cache scale.
@@ -52,6 +74,13 @@ pub struct ExpCtx {
     pub out_dir: PathBuf,
     /// Base RNG seed for workload generation.
     pub seed: u64,
+    /// Worker threads used to fan simulation runs out over independent
+    /// (policy, cache) scenarios. `1` (the default) runs sequentially;
+    /// any value produces identical tables and CSVs because results are
+    /// aggregated in input order.
+    pub jobs: usize,
+    /// CLI overrides for the custom `sweep` experiment.
+    pub sweep: SweepOverrides,
 }
 
 impl Default for ExpCtx {
@@ -60,6 +89,8 @@ impl Default for ExpCtx {
             scale: Scale::Paper,
             out_dir: PathBuf::from("results"),
             seed: 42,
+            jobs: 1,
+            sweep: SweepOverrides::default(),
         }
     }
 }
@@ -190,6 +221,12 @@ pub fn run_policy_stack(
     config: &SimConfig,
 ) -> SimReport {
     let report = run(trace, config, stack);
+    say_run(label, &report);
+    report
+}
+
+/// The shared one-line progress marker for a finished simulation run.
+fn say_run(label: &str, report: &SimReport) {
     crate::say!(
         "  ran {label:<16} cold={:>5.1}% delayed={:>5.1}% warm={:>5.1}% overhead={:>5.1}%",
         report.ratio(faas_sim::StartClass::Cold) * 100.0,
@@ -197,7 +234,30 @@ pub fn run_policy_stack(
         report.ratio(faas_sim::StartClass::Warm) * 100.0,
         report.avg_overhead_ratio() * 100.0
     );
-    report
+}
+
+/// Runs a batch of independent `(policy name, config)` scenarios over a
+/// shared trace across `ctx.jobs` worker threads, returning reports in
+/// input order.
+///
+/// Each scenario is fully determined by its inputs (the simulator is
+/// deterministic and each worker builds its own policy stack), and the
+/// progress markers are printed *after* collection, in input order — so
+/// narration, tables, and CSVs are byte-identical whatever `ctx.jobs`
+/// is. With `jobs == 1` this takes `faas_testkit::par_map`'s sequential
+/// reference path.
+pub fn run_policy_batch(
+    ctx: &ExpCtx,
+    trace: &Trace,
+    scenarios: &[(String, SimConfig)],
+) -> Vec<SimReport> {
+    let reports = faas_testkit::par_map(scenarios, ctx.jobs, |_, (name, config)| {
+        run(trace, config, stack_by_name(name, trace))
+    });
+    for ((name, _), report) in scenarios.iter().zip(&reports) {
+        say_run(name, report);
+    }
+    reports
 }
 
 #[cfg(test)]

@@ -1,0 +1,396 @@
+//! Wall-clock micro-benchmark harness.
+//!
+//! A bench target is a plain binary (`harness = false`) that builds a
+//! [`Harness`], registers closures with [`Harness::bench`], and calls
+//! [`Harness::finish`]. Each benchmark is calibrated during warmup so a
+//! sample takes a measurable slice of wall time, then timed over a fixed
+//! iteration budget; the harness reports median / p95 / mean per
+//! iteration and optional element throughput, and merges the results of
+//! every bench binary into one machine-readable `BENCH_results.json` at
+//! the workspace root.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_SMOKE=1` — CI smoke mode: minimal warmup and samples, so the
+//!   whole suite finishes in seconds while still exercising every path.
+//! * `BENCH_OUT=path.json` — override the results file location.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use faas_testkit::Harness;
+//! let mut h = Harness::new("my_target");
+//! h.bench("hot_loop", || {
+//!     std::hint::black_box(2u64 + 2);
+//! });
+//! h.finish();
+//! ```
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::json::Value;
+
+/// Measured statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark name (unique within the target).
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per timed sample (calibrated during warmup).
+    pub iters_per_sample: u64,
+    /// Median ns/iteration across samples.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iteration across samples.
+    pub p95_ns: f64,
+    /// Mean ns/iteration across samples.
+    pub mean_ns: f64,
+    /// Fastest sample's ns/iteration.
+    pub min_ns: f64,
+    /// Slowest sample's ns/iteration.
+    pub max_ns: f64,
+    /// Elements processed per iteration (for throughput), if declared.
+    pub elems_per_iter: Option<u64>,
+}
+
+impl BenchStats {
+    /// Elements per second at the median sample, if throughput applies.
+    pub fn throughput_elems_per_sec(&self) -> Option<f64> {
+        self.elems_per_iter
+            .map(|e| e as f64 * 1e9 / self.median_ns.max(1e-9))
+    }
+
+    fn to_json(&self) -> Value {
+        let mut obj = Value::Obj(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("samples".into(), Value::Num(self.samples as f64)),
+            (
+                "iters_per_sample".into(),
+                Value::Num(self.iters_per_sample as f64),
+            ),
+            ("median_ns".into(), Value::Num(round2(self.median_ns))),
+            ("p95_ns".into(), Value::Num(round2(self.p95_ns))),
+            ("mean_ns".into(), Value::Num(round2(self.mean_ns))),
+            ("min_ns".into(), Value::Num(round2(self.min_ns))),
+            ("max_ns".into(), Value::Num(round2(self.max_ns))),
+        ]);
+        if let Some(tput) = self.throughput_elems_per_sec() {
+            obj.set("throughput_elems_per_sec", Value::Num(round2(tput)));
+        }
+        obj
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// The per-target bench harness. See the [module docs](self).
+#[derive(Debug)]
+pub struct Harness {
+    target: String,
+    results: Vec<BenchStats>,
+    filter: Option<String>,
+    smoke: bool,
+    samples: usize,
+    min_sample_time: Duration,
+    next_elems: Option<u64>,
+}
+
+impl Harness {
+    /// Creates the harness for a bench target (the `[[bench]]` name).
+    /// Reads CLI args so `cargo bench <substring>` filters benchmarks,
+    /// and honors `BENCH_SMOKE`.
+    pub fn new(target: &str) -> Self {
+        let smoke = std::env::var("BENCH_SMOKE").map(|v| v != "0").unwrap_or(false);
+        // cargo passes `--bench` (and test-harness flags); the first
+        // non-flag argument is a name filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Self {
+            target: target.to_string(),
+            results: Vec::new(),
+            filter,
+            smoke,
+            samples: if smoke { 5 } else { 30 },
+            min_sample_time: if smoke {
+                Duration::from_millis(2)
+            } else {
+                Duration::from_millis(25)
+            },
+            next_elems: None,
+        }
+    }
+
+    /// Overrides the number of timed samples for subsequent benchmarks
+    /// (smoke mode keeps its own smaller floor).
+    pub fn samples(&mut self, n: usize) -> &mut Self {
+        if !self.smoke {
+            self.samples = n.max(3);
+        }
+        self
+    }
+
+    /// Declares that each iteration of the *next* benchmark processes
+    /// `n` elements, enabling throughput reporting.
+    pub fn throughput_elems(&mut self, n: u64) -> &mut Self {
+        self.next_elems = Some(n);
+        self
+    }
+
+    /// Runs one benchmark. Results are printed immediately and recorded
+    /// for [`finish`](Self::finish).
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        let elems = self.next_elems.take();
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warmup + calibration: run until the clock has accumulated
+        // enough time to estimate the per-iteration cost.
+        let warmup_budget = if self.smoke {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(150)
+        };
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_budget || warmup_iters < 1 {
+            f();
+            warmup_iters += 1;
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        let iters_per_sample =
+            ((self.min_sample_time.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let pct = |p: f64| {
+            let idx = ((per_iter_ns.len() - 1) as f64 * p).round() as usize;
+            per_iter_ns[idx]
+        };
+        let stats = BenchStats {
+            name: name.to_string(),
+            samples: per_iter_ns.len(),
+            iters_per_sample,
+            median_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().expect("non-empty"),
+            elems_per_iter: elems,
+        };
+        let tput = match stats.throughput_elems_per_sec() {
+            Some(t) => format!("  ({} elems/s)", human(t)),
+            None => String::new(),
+        };
+        println!(
+            "{}/{name:<40} median {:>12}  p95 {:>12}{tput}",
+            self.target,
+            human_ns(stats.median_ns),
+            human_ns(stats.p95_ns),
+        );
+        self.results.push(stats);
+    }
+
+    /// Prints a summary and merges this target's results into
+    /// `BENCH_results.json`. Call exactly once, at the end of `main`.
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            println!("{}: no benchmarks matched the filter", self.target);
+            return;
+        }
+        let path = results_path();
+        let mut doc = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Value::parse(&text).ok())
+            .filter(|v| matches!(v, Value::Obj(_)))
+            .unwrap_or_else(|| {
+                Value::Obj(vec![
+                    ("schema".into(), Value::Num(1.0)),
+                    ("targets".into(), Value::Obj(vec![])),
+                ])
+            });
+        if doc.get("targets").is_none() {
+            doc.set("targets", Value::Obj(vec![]));
+        }
+        let benches = Value::Arr(self.results.iter().map(BenchStats::to_json).collect());
+        let entry = Value::Obj(vec![
+            ("smoke".into(), Value::Bool(self.smoke)),
+            ("benches".into(), benches),
+        ]);
+        // Re-fetch mutably: replace this target inside "targets".
+        if let Value::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "targets" {
+                    v.set(&self.target, entry);
+                    // Keep target order stable (sorted) so reruns in any
+                    // order produce identical files.
+                    if let Value::Obj(targets) = v {
+                        targets.sort_by(|a, b| a.0.cmp(&b.0));
+                    }
+                    break;
+                }
+            }
+        }
+        match std::fs::write(&path, doc.pretty()) {
+            Ok(()) => println!("{}: results merged into {}", self.target, path.display()),
+            Err(e) => eprintln!("{}: cannot write {}: {e}", self.target, path.display()),
+        }
+    }
+}
+
+/// Where `BENCH_results.json` lives: `BENCH_OUT` if set, else the
+/// enclosing cargo workspace root (bench binaries run with the package
+/// directory as cwd), else the current directory.
+fn results_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.join("BENCH_results.json");
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from("BENCH_results.json");
+        }
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_harness(target: &str, out: &std::path::Path) -> Harness {
+        // Constructed directly so tests don't depend on process env.
+        let _ = out;
+        Harness {
+            target: target.to_string(),
+            results: Vec::new(),
+            filter: None,
+            smoke: true,
+            samples: 4,
+            min_sample_time: Duration::from_micros(200),
+            next_elems: None,
+        }
+    }
+
+    #[test]
+    fn measures_and_merges_two_targets() {
+        let dir = std::env::temp_dir().join(format!("testkit-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_results.json");
+        let _ = std::fs::remove_file(&out);
+        // The results path is env-driven; set it for this test. Tests in
+        // this module are the only users of BENCH_OUT in-process.
+        std::env::set_var("BENCH_OUT", &out);
+
+        let mut h1 = smoke_harness("alpha", &out);
+        h1.throughput_elems(100);
+        h1.bench("tiny_add", || {
+            std::hint::black_box(1u64.wrapping_add(2));
+        });
+        h1.finish();
+
+        let mut h2 = smoke_harness("beta", &out);
+        h2.bench("tiny_mul", || {
+            std::hint::black_box(3u64.wrapping_mul(4));
+        });
+        h2.finish();
+
+        let doc = Value::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let targets = doc.get("targets").expect("targets");
+        for t in ["alpha", "beta"] {
+            let benches = targets.get(t).unwrap().get("benches").unwrap();
+            let b = &benches.as_arr().unwrap()[0];
+            let median = b.get("median_ns").unwrap().as_f64().unwrap();
+            let p95 = b.get("p95_ns").unwrap().as_f64().unwrap();
+            assert!(median > 0.0 && p95 >= median, "{t}: median {median} p95 {p95}");
+        }
+        assert!(targets
+            .get("alpha")
+            .unwrap()
+            .get("benches")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0]
+            .get("throughput_elems_per_sec")
+            .is_some());
+
+        // Re-running a target replaces, not duplicates.
+        let mut h3 = smoke_harness("alpha", &out);
+        h3.bench("tiny_add", || {
+            std::hint::black_box(5u64.wrapping_add(6));
+        });
+        h3.finish();
+        let doc = Value::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let alpha = doc.get("targets").unwrap().get("alpha").unwrap();
+        assert_eq!(alpha.get("benches").unwrap().as_arr().unwrap().len(), 1);
+
+        std::env::remove_var("BENCH_OUT");
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn stats_ordering_holds() {
+        let out = std::env::temp_dir().join("unused-bench.json");
+        let mut h = smoke_harness("gamma", &out);
+        h.bench("spin", || {
+            let mut x = 0u64;
+            for i in 0..50 {
+                x = x.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(x);
+        });
+        let s = &h.results[0];
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.max_ns);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human_ns(12.34), "12.3 ns");
+        assert_eq!(human_ns(12_340.0), "12.34 µs");
+        assert_eq!(human(2_500_000.0), "2.50M");
+    }
+}

@@ -20,8 +20,7 @@
 //!
 //! All generation is deterministic in the seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use faas_testkit::Rng;
 
 use crate::{FunctionId, FunctionProfile, Invocation, TimeDelta, TimePoint, Trace};
 
@@ -215,12 +214,12 @@ impl SyntheticWorkload {
 
     /// Thins an arrival at `t_us` so the accepted stream follows the
     /// diurnal intensity (generation runs at peak rate `1 + a`).
-    fn diurnal_keep(&self, rng: &mut StdRng, t_us: f64) -> bool {
+    fn diurnal_keep(&self, rng: &mut Rng, t_us: f64) -> bool {
         if self.diurnal_amplitude == 0.0 {
             return true;
         }
         let peak = 1.0 + self.diurnal_amplitude;
-        rng.gen::<f64>() < self.diurnal_factor(t_us) / peak
+        rng.f64() < self.diurnal_factor(t_us) / peak
     }
 
     /// Generates the trace.
@@ -230,13 +229,13 @@ impl SyntheticWorkload {
     /// Panics if the builder was configured with zero functions.
     pub fn build(&self) -> Trace {
         assert!(self.functions > 0, "workload needs at least one function");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
 
         let profiles = self.build_profiles(&mut rng);
         // Per-function execution-time medians, log-uniform across range.
         let (lo, hi) = self.exec_median_range_ms;
         let mut medians_ms: Vec<f64> = (0..self.functions)
-            .map(|_| log_uniform(&mut rng, lo, hi))
+            .map(|_| rng.log_uniform(lo, hi))
             .collect();
         if self.hot_functions_fast {
             // Function 0 is the most popular (Zipf rank 1): give it the
@@ -277,11 +276,11 @@ impl SyntheticWorkload {
         Trace::new(profiles, invocations).expect("generator emits consistent traces")
     }
 
-    fn build_profiles(&self, rng: &mut StdRng) -> Vec<FunctionProfile> {
+    fn build_profiles(&self, rng: &mut Rng) -> Vec<FunctionProfile> {
         (0..self.functions)
             .map(|i| {
-                let mem_mb = weighted_choice(rng, self.mem_choices);
-                let jitter = 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * self.cold_jitter;
+                let mem_mb = rng.weighted(self.mem_choices);
+                let jitter = 1.0 + (rng.f64() * 2.0 - 1.0) * self.cold_jitter;
                 let cold_ms = (mem_mb as f64 * self.cold_ms_per_mb * jitter).max(1.0);
                 FunctionProfile::new(
                     FunctionId(i as u32),
@@ -296,7 +295,7 @@ impl SyntheticWorkload {
     /// Poisson-process arrivals with exponential inter-arrival gaps.
     fn gen_steady(
         &self,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         func: FunctionId,
         expected: f64,
         median_ms: f64,
@@ -309,7 +308,7 @@ impl SyntheticWorkload {
         let rate_per_us = expected * peak / self.duration.as_micros() as f64;
         let mut t = 0.0f64;
         loop {
-            t += exponential(rng, rate_per_us);
+            t += rng.exponential(rate_per_us);
             if t >= self.duration.as_micros() as f64 {
                 break;
             }
@@ -328,7 +327,7 @@ impl SyntheticWorkload {
     /// so the surge *rate* stays bounded rather than its duration.
     fn gen_bursts(
         &self,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         func: FunctionId,
         expected: f64,
         median_ms: f64,
@@ -338,20 +337,21 @@ impl SyntheticWorkload {
         let dur_us = self.duration.as_micros();
         let w = self.burst_window.as_micros().max(1) as f64;
         while remaining > 0 {
-            let size = pareto_int(rng, self.burst_pareto_alpha, 2, self.burst_max)
+            let size = rng
+                .pareto_int(self.burst_pareto_alpha, 2, self.burst_max)
                 .min(remaining.max(2) as usize);
             let floor = w * (1.0 + (size as f64).sqrt());
-            let span = log_uniform(rng, floor, floor * 25.0) as u64;
-            let mut start = rng.gen_range(0..dur_us.max(1));
+            let span = rng.log_uniform(floor, floor * 25.0) as u64;
+            let mut start = rng.range_u64(0, dur_us.max(1));
             // Bias burst placement toward diurnal peaks.
             for _ in 0..8 {
                 if self.diurnal_keep(rng, start as f64) {
                     break;
                 }
-                start = rng.gen_range(0..dur_us.max(1));
+                start = rng.range_u64(0, dur_us.max(1));
             }
             for _ in 0..size {
-                let offset = rng.gen_range(0..=span);
+                let offset = rng.range_u64_inclusive(0, span);
                 let at = TimePoint::from_micros((start + offset).min(dur_us));
                 out.push(self.invocation(rng, func, at, median_ms));
             }
@@ -361,12 +361,12 @@ impl SyntheticWorkload {
 
     fn invocation(
         &self,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         func: FunctionId,
         arrival: TimePoint,
         median_ms: f64,
     ) -> Invocation {
-        let exec_ms = lognormal_around_median(rng, median_ms, self.exec_sigma).max(0.1);
+        let exec_ms = rng.lognormal_median(median_ms, self.exec_sigma).max(0.1);
         Invocation {
             func,
             arrival,
@@ -432,57 +432,6 @@ pub fn azure_daily(seed: u64) -> SyntheticWorkload {
     w.rate_per_function_rps = 0.23; // ≈170 rps aggregate, per Table 1.
     w.diurnal_amplitude = 0.45; // day/night swing of the daily trace
     w
-}
-
-// ---------------------------------------------------------------------
-// Distribution helpers (deterministic, dependency-free).
-// ---------------------------------------------------------------------
-
-/// Exponential variate with the given rate (events per time unit).
-fn exponential(rng: &mut StdRng, rate: f64) -> f64 {
-    debug_assert!(rate > 0.0);
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-    -u.ln() / rate
-}
-
-/// Standard normal via Box–Muller.
-fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
-/// Lognormal variate whose median is `median` and whose log-space standard
-/// deviation is `sigma`.
-fn lognormal_around_median(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
-    median * (sigma * standard_normal(rng)).exp()
-}
-
-/// Log-uniform variate on `[lo, hi]`.
-fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
-    debug_assert!(lo > 0.0 && hi >= lo);
-    let u: f64 = rng.gen();
-    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
-}
-
-/// Integer Pareto variate clipped to `[min, max]` via inverse CDF.
-fn pareto_int(rng: &mut StdRng, alpha: f64, min: usize, max: usize) -> usize {
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let x = min as f64 / u.powf(1.0 / alpha);
-    (x as usize).clamp(min, max)
-}
-
-/// Weighted categorical choice.
-fn weighted_choice(rng: &mut StdRng, choices: &[(u32, f64)]) -> u32 {
-    let total: f64 = choices.iter().map(|&(_, w)| w).sum();
-    let mut x = rng.gen::<f64>() * total;
-    for &(v, w) in choices {
-        if x < w {
-            return v;
-        }
-        x -= w;
-    }
-    choices.last().expect("non-empty choices").0
 }
 
 #[cfg(test)]
@@ -596,23 +545,23 @@ mod tests {
 
     #[test]
     fn distribution_helpers_in_range() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         for _ in 0..1000 {
-            let p = pareto_int(&mut rng, 1.5, 2, 100);
+            let p = rng.pareto_int(1.5, 2, 100);
             assert!((2..=100).contains(&p));
-            let lu = log_uniform(&mut rng, 1.0, 10.0);
+            let lu = rng.log_uniform(1.0, 10.0);
             assert!((1.0..=10.0).contains(&lu));
-            let e = exponential(&mut rng, 0.5);
+            let e = rng.exponential(0.5);
             assert!(e > 0.0);
         }
     }
 
     #[test]
     fn weighted_choice_respects_support() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let choices = [(1u32, 0.5), (2, 0.5)];
         for _ in 0..100 {
-            let c = weighted_choice(&mut rng, &choices);
+            let c = rng.weighted(&choices);
             assert!(c == 1 || c == 2);
         }
     }

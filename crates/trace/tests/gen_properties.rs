@@ -1,78 +1,115 @@
-//! Property tests for the synthetic workload generators and transforms.
+//! Property tests for the synthetic workload generators and transforms,
+//! on the hermetic `faas-testkit` runner.
 
+use faas_testkit::Checker;
 use faas_trace::{gen, io, stats, transform, TimeDelta, TimePoint};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// 24-case checker persisting failing seeds next to this file.
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(24).regressions_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/gen_properties.testkit-regressions"
+    ))
+}
 
-    #[test]
-    fn generation_is_deterministic(seed in 0u64..1_000, funcs in 1usize..30) {
-        let a = gen::SyntheticWorkload::new(seed).functions(funcs).minutes(1).build();
-        let b = gen::SyntheticWorkload::new(seed).functions(funcs).minutes(1).build();
-        prop_assert_eq!(a, b);
-    }
+#[test]
+fn generation_is_deterministic() {
+    checker("generation_is_deterministic").run(|g| {
+        let seed = g.u64(0..1_000);
+        let funcs = g.usize(1..30);
+        let a = gen::SyntheticWorkload::new(seed)
+            .functions(funcs)
+            .minutes(1)
+            .build();
+        let b = gen::SyntheticWorkload::new(seed)
+            .functions(funcs)
+            .minutes(1)
+            .build();
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn arrivals_stay_within_duration(seed in 0u64..1_000, minutes in 1u64..4) {
+#[test]
+fn arrivals_stay_within_duration() {
+    checker("arrivals_stay_within_duration").run(|g| {
+        let seed = g.u64(0..1_000);
+        let minutes = g.u64(1..4);
         let trace = gen::fc(seed).functions(8).minutes(minutes).build();
         let dur = TimeDelta::from_minutes(minutes);
         for inv in trace.invocations() {
-            prop_assert!(inv.arrival.saturating_since(TimePoint::ZERO) <= dur);
-            prop_assert!(inv.exec > TimeDelta::ZERO);
+            assert!(inv.arrival.saturating_since(TimePoint::ZERO) <= dur);
+            assert!(inv.exec > TimeDelta::ZERO);
         }
-    }
+    });
+}
 
-    #[test]
-    fn profiles_are_consistent(seed in 0u64..1_000) {
+#[test]
+fn profiles_are_consistent() {
+    checker("profiles_are_consistent").run(|g| {
+        let seed = g.u64(0..1_000);
         let trace = gen::azure(seed).functions(15).minutes(1).build();
-        prop_assert_eq!(trace.functions().len(), 15);
+        assert_eq!(trace.functions().len(), 15);
         for f in trace.functions() {
-            prop_assert!(f.mem_mb >= 128 && f.mem_mb <= 1536);
-            prop_assert!(f.cold_start > TimeDelta::ZERO);
+            assert!(f.mem_mb >= 128 && f.mem_mb <= 1536);
+            assert!(f.cold_start > TimeDelta::ZERO);
         }
         // Every invocation resolves to a profile.
         for inv in trace.invocations() {
-            prop_assert!(trace.function(inv.func).is_some());
+            assert!(trace.function(inv.func).is_some());
         }
-    }
+    });
+}
 
-    #[test]
-    fn io_round_trip(seed in 0u64..500) {
+#[test]
+fn io_round_trip() {
+    checker("io_round_trip").run(|g| {
+        let seed = g.u64(0..500);
         let trace = gen::fc(seed).functions(5).minutes(1).build();
         let text = io::to_string(&trace);
         let back = io::from_str(&text).expect("round trip parses");
-        prop_assert_eq!(trace, back);
-    }
+        assert_eq!(trace, back);
+    });
+}
 
-    #[test]
-    fn iat_scaling_scales_duration(seed in 0u64..500, factor in 0.25f64..3.0) {
+#[test]
+fn iat_scaling_scales_duration() {
+    checker("iat_scaling_scales_duration").run(|g| {
+        let seed = g.u64(0..500);
+        let factor = g.f64(0.25..3.0);
         let trace = gen::azure(seed).functions(6).minutes(1).build();
-        prop_assume!(!trace.is_empty());
+        if trace.is_empty() {
+            return;
+        }
         let scaled = transform::scale_iat(&trace, factor);
         let expected = trace.duration().as_micros() as f64 * factor;
         let got = scaled.duration().as_micros() as f64;
-        prop_assert!((got - expected).abs() <= 1.0, "expected {expected}, got {got}");
-    }
+        assert!((got - expected).abs() <= 1.0, "expected {expected}, got {got}");
+    });
+}
 
-    #[test]
-    fn table1_stats_are_internally_consistent(seed in 0u64..500) {
+#[test]
+fn table1_stats_are_internally_consistent() {
+    checker("table1_stats_are_internally_consistent").run(|g| {
+        let seed = g.u64(0..500);
         let trace = gen::fc(seed).functions(10).minutes(2).build();
         let s = stats::TraceStats::compute(&trace);
-        prop_assert_eq!(s.invocations as usize, trace.len());
-        prop_assert!(s.rps_min <= s.rps_avg + 1e-9);
-        prop_assert!(s.rps_avg <= s.rps_max + 1e-9);
-        prop_assert!(s.gbps_min <= s.gbps_avg + 1e-9);
-        prop_assert!(s.gbps_avg <= s.gbps_max + 1e-9);
+        assert_eq!(s.invocations as usize, trace.len());
+        assert!(s.rps_min <= s.rps_avg + 1e-9);
+        assert!(s.rps_avg <= s.rps_max + 1e-9);
+        assert!(s.gbps_min <= s.gbps_avg + 1e-9);
+        assert!(s.gbps_avg <= s.gbps_max + 1e-9);
         // Average rate times duration recovers the request count.
         let recovered = s.rps_avg * s.duration_secs.ceil();
-        prop_assert!((recovered - s.invocations as f64).abs() < 1.0);
-    }
+        assert!((recovered - s.invocations as f64).abs() < 1.0);
+    });
+}
 
-    #[test]
-    fn concurrency_cdf_counts_every_active_function(seed in 0u64..500) {
+#[test]
+fn concurrency_cdf_counts_every_active_function() {
+    checker("concurrency_cdf_counts_every_active_function").run(|g| {
+        let seed = g.u64(0..500);
         let trace = gen::azure(seed).functions(12).minutes(1).build();
         let active = trace.invocation_counts().len();
-        prop_assert_eq!(stats::concurrency_cdf(&trace).len(), active);
-    }
+        assert_eq!(stats::concurrency_cdf(&trace).len(), active);
+    });
 }

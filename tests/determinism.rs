@@ -1,0 +1,57 @@
+//! The simulator is a pure function of (trace, config, policy stack):
+//! regenerating the trace from the same seed and re-running the same
+//! stack must reproduce the *entire* report — asserted byte-for-byte on
+//! the `Debug` rendering, which covers every request record, the memory
+//! timeline, and all counters.
+
+use cidre::core::{cidre_bss_stack, cidre_stack, CidreConfig};
+use cidre::policies::{faascache_stack, lru_stack, ttl_stack};
+use cidre::sim::{run, PolicyStack, SimConfig, SimReport};
+use cidre::trace::gen;
+
+fn stacks() -> Vec<(&'static str, fn() -> PolicyStack)> {
+    vec![
+        ("ttl", ttl_stack as fn() -> PolicyStack),
+        ("lru", lru_stack),
+        ("faascache", faascache_stack),
+        ("cidre-bss", cidre_bss_stack),
+        ("cidre", || cidre_stack(CidreConfig::default())),
+    ]
+}
+
+fn report_for(seed: u64, make_stack: fn() -> PolicyStack) -> SimReport {
+    let trace = gen::azure(seed).functions(15).minutes(2).build();
+    let config = SimConfig::default().workers_mb(vec![3_072]);
+    run(&trace, &config, make_stack())
+}
+
+#[test]
+fn same_seed_same_stack_byte_identical_report() {
+    for (label, make_stack) in stacks() {
+        for seed in [1, 42, 1234] {
+            let a = format!("{:?}", report_for(seed, make_stack));
+            let b = format!("{:?}", report_for(seed, make_stack));
+            assert_eq!(a, b, "{label} diverged on seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guard against the comparison above passing vacuously (e.g. the
+    // generator ignoring its seed).
+    let a = format!("{:?}", report_for(1, faascache_stack));
+    let b = format!("{:?}", report_for(2, faascache_stack));
+    assert_ne!(a, b);
+}
+
+#[test]
+fn fc_workload_is_deterministic_too() {
+    let config = SimConfig::default().workers_mb(vec![2_048]);
+    let trace_a = gen::fc(7).functions(10).minutes(1).build();
+    let trace_b = gen::fc(7).functions(10).minutes(1).build();
+    assert_eq!(trace_a, trace_b, "trace generation must be seed-stable");
+    let a = run(&trace_a, &config, cidre_stack(CidreConfig::default()));
+    let b = run(&trace_b, &config, cidre_stack(CidreConfig::default()));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}

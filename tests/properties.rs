@@ -1,47 +1,54 @@
-//! Property-based tests over the whole stack: random traces through the
-//! simulator must uphold conservation, memory, classification, and
-//! determinism invariants; the metrics substrate must match naive
-//! recomputation.
+//! Property-based tests over the whole stack, on the hermetic
+//! `faas-testkit` runner: random traces through the simulator must
+//! uphold conservation, memory, classification, and determinism
+//! invariants; the metrics substrate must match naive recomputation.
 
 use cidre::core::{cidre_stack, CidreConfig};
 use cidre::metrics::{Cdf, SlidingWindow, Summary};
 use cidre::policies::{faascache_queue_stack, faascache_stack};
-use cidre::sim::{run, PolicyStack, SimConfig, StartClass};
+use cidre::sim::{run, PolicyStack, SimConfig, SimReport, StartClass};
 use cidre::trace::{FunctionId, FunctionProfile, Invocation, TimeDelta, TimePoint, Trace};
-use proptest::prelude::*;
+use faas_testkit::{Checker, Gen};
 
-/// Strategy: a random, small, but structurally diverse trace.
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    let functions = prop::collection::vec((64u32..1024, 10u64..2_000), 1..6);
-    let invocations = prop::collection::vec((0usize..6, 0u64..60_000, 1u64..3_000), 1..120);
-    (functions, invocations).prop_map(|(fns, invs)| {
-        let profiles: Vec<FunctionProfile> = fns
-            .iter()
-            .enumerate()
-            .map(|(i, &(mem, cold))| {
-                FunctionProfile::new(
-                    FunctionId(i as u32),
-                    format!("f{i}"),
-                    mem,
-                    TimeDelta::from_millis(cold),
-                )
-            })
-            .collect();
-        let n = profiles.len();
-        let invocations: Vec<Invocation> = invs
-            .into_iter()
-            .map(|(f, at, exec)| Invocation {
-                func: FunctionId((f % n) as u32),
-                arrival: TimePoint::from_millis(at),
-                exec: TimeDelta::from_millis(exec),
-            })
-            .collect();
-        Trace::new(profiles, invocations).expect("constructed consistently")
-    })
+/// 48-case checker persisting failing seeds next to this file.
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(48).regressions_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/properties.testkit-regressions"
+    ))
 }
 
-fn stacks(trace: &Trace) -> Vec<PolicyStack> {
-    let _ = trace;
+/// A random, small, but structurally diverse trace.
+fn arb_trace(g: &mut Gen) -> Trace {
+    let fns = g.vec(1..6, |g| (g.u32(64..1024), g.u64(10..2_000)));
+    let invs = g.vec(1..120, |g| {
+        (g.usize(0..6), g.u64(0..60_000), g.u64(1..3_000))
+    });
+    let profiles: Vec<FunctionProfile> = fns
+        .iter()
+        .enumerate()
+        .map(|(i, &(mem, cold))| {
+            FunctionProfile::new(
+                FunctionId(i as u32),
+                format!("f{i}"),
+                mem,
+                TimeDelta::from_millis(cold),
+            )
+        })
+        .collect();
+    let n = profiles.len();
+    let invocations: Vec<Invocation> = invs
+        .into_iter()
+        .map(|(f, at, exec)| Invocation {
+            func: FunctionId((f % n) as u32),
+            arrival: TimePoint::from_millis(at),
+            exec: TimeDelta::from_millis(exec),
+        })
+        .collect();
+    Trace::new(profiles, invocations).expect("constructed consistently")
+}
+
+fn stacks() -> Vec<PolicyStack> {
     vec![
         faascache_stack(),
         faascache_queue_stack(Some(1)),
@@ -49,68 +56,161 @@ fn stacks(trace: &Trace) -> Vec<PolicyStack> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn simulator_invariants_hold_on_random_traces(trace in arb_trace()) {
-        let config = SimConfig::default().workers_mb(vec![2_048, 2_048]);
-        for stack in stacks(&trace) {
-            let label = stack.label();
-            let report = run(&trace, &config, stack);
-            // Conservation.
-            prop_assert_eq!(report.requests.len(), trace.len(), "{}", label);
-            // Class-consistent waits. (Cold and delayed-warm waits are
-            // almost always positive, but a request arriving at the exact
-            // instant a resource frees legitimately waits zero.)
-            for r in &report.requests {
-                if r.class == StartClass::Warm {
-                    prop_assert_eq!(r.wait.as_micros(), 0);
-                }
+/// The invariants every simulation run must uphold, shared between the
+/// random property and the pinned regression trace below.
+fn assert_simulator_invariants(trace: &Trace) {
+    let config = SimConfig::default().workers_mb(vec![2_048, 2_048]);
+    for stack in stacks() {
+        let label = stack.label();
+        let report = run(trace, &config, stack);
+        // Conservation.
+        assert_eq!(report.requests.len(), trace.len(), "{label}");
+        // Class-consistent waits. (Cold and delayed-warm waits are
+        // almost always positive, but a request arriving at the exact
+        // instant a resource frees legitimately waits zero.)
+        for r in &report.requests {
+            if r.class == StartClass::Warm {
+                assert_eq!(r.wait.as_micros(), 0, "{label}");
             }
-            // Memory bound.
-            if let Some(peak) = report.memory.max() {
-                prop_assert!(peak <= 4_096.0 + 1e-9, "{}: peak {}", label, peak);
-            }
-            // Bookkeeping sanity.
-            prop_assert!(report.containers_evicted <= report.containers_created);
         }
+        // Memory bound.
+        if let Some(peak) = report.memory.max() {
+            assert!(peak <= 4_096.0 + 1e-9, "{label}: peak {peak}");
+        }
+        // Bookkeeping sanity.
+        assert!(report.containers_evicted <= report.containers_created, "{label}");
     }
+}
 
-    #[test]
-    fn simulator_is_deterministic(trace in arb_trace()) {
+#[test]
+fn simulator_invariants_hold_on_random_traces() {
+    checker("simulator_invariants_hold_on_random_traces").run(|g| {
+        let trace = arb_trace(g);
+        assert_simulator_invariants(&trace);
+    });
+}
+
+/// Re-encoding of the shrunk counterexample proptest once found (seed
+/// `cc 66256b60…` in the retired `properties.proptest-regressions`
+/// file): 4 functions, 47 invocations with heavy overlap on f1. Kept as
+/// a pinned regression now that the random source has changed.
+#[test]
+fn simulator_invariants_hold_on_proptest_regression_cc66256b() {
+    const FNS: &[(u32, u64)] = &[(273, 201), (888, 1911), (444, 841), (786, 1061)];
+    const INVS: &[(u32, u64, u64)] = &[
+        (2, 280, 1187),
+        (0, 323, 704),
+        (1, 550, 1679),
+        (1, 917, 398),
+        (1, 1053, 2654),
+        (2, 1416, 2087),
+        (3, 1878, 2085),
+        (0, 2537, 2488),
+        (1, 3270, 1173),
+        (0, 3382, 185),
+        (2, 3735, 2799),
+        (0, 4686, 1470),
+        (0, 4697, 561),
+        (1, 5848, 2076),
+        (2, 5906, 988),
+        (1, 6258, 2992),
+        (3, 6752, 576),
+        (1, 8135, 2310),
+        (2, 8839, 624),
+        (0, 9234, 949),
+        (1, 9999, 2718),
+        (2, 10294, 1098),
+        (1, 10439, 2379),
+        (1, 10939, 2411),
+        (0, 10965, 1160),
+        (0, 11560, 1410),
+        (1, 11974, 1426),
+        (1, 12856, 2388),
+        (1, 13071, 1871),
+        (0, 13867, 2079),
+        (1, 14675, 405),
+        (1, 17985, 2431),
+        (0, 19400, 2875),
+        (0, 20873, 1450),
+        (2, 20887, 1204),
+        (0, 21415, 2898),
+        (1, 31924, 1001),
+        (2, 32654, 1131),
+        (0, 34530, 353),
+        (3, 37664, 2836),
+        (3, 38181, 2355),
+        (1, 40516, 2343),
+        (3, 40929, 390),
+        (3, 42028, 366),
+        (0, 45883, 2003),
+        (2, 48016, 2089),
+        (0, 55874, 1080),
+    ];
+    let profiles: Vec<FunctionProfile> = FNS
+        .iter()
+        .enumerate()
+        .map(|(i, &(mem, cold_ms))| {
+            FunctionProfile::new(
+                FunctionId(i as u32),
+                format!("f{i}"),
+                mem,
+                TimeDelta::from_millis(cold_ms),
+            )
+        })
+        .collect();
+    let invocations: Vec<Invocation> = INVS
+        .iter()
+        .map(|&(f, at_ms, exec_ms)| Invocation {
+            func: FunctionId(f),
+            arrival: TimePoint::from_millis(at_ms),
+            exec: TimeDelta::from_millis(exec_ms),
+        })
+        .collect();
+    let trace = Trace::new(profiles, invocations).expect("regression trace is consistent");
+    assert_simulator_invariants(&trace);
+}
+
+#[test]
+fn simulator_is_deterministic() {
+    checker("simulator_is_deterministic").run(|g| {
+        let trace = arb_trace(g);
         let config = SimConfig::default().workers_mb(vec![1_536]);
         let a = run(&trace, &config, cidre_stack(CidreConfig::default()));
         let b = run(&trace, &config, cidre_stack(CidreConfig::default()));
-        prop_assert_eq!(a.requests, b.requests);
-        prop_assert_eq!(a.containers_created, b.containers_created);
-        prop_assert_eq!(a.wasted_cold_starts, b.wasted_cold_starts);
-    }
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.containers_created, b.containers_created);
+        assert_eq!(a.wasted_cold_starts, b.wasted_cold_starts);
+        let _: &SimReport = &a;
+    });
+}
 
-    #[test]
-    fn cdf_is_monotone_and_bounded(samples in prop::collection::vec(0.0f64..1e6, 1..200)) {
+#[test]
+fn cdf_is_monotone_and_bounded() {
+    checker("cdf_is_monotone_and_bounded").run(|g| {
+        let samples = g.vec(1..200, |g| g.f64(0.0..1e6));
         let cdf = Cdf::from_samples(samples.iter().copied());
         let mut prev = 0.0;
         for i in 0..=50 {
             let x = 1e6 * i as f64 / 50.0;
             let f = cdf.fraction_at_or_below(x);
-            prop_assert!((0.0..=1.0).contains(&f));
-            prop_assert!(f >= prev);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev);
             prev = f;
         }
         // Quantiles invert fractions.
         for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let v = cdf.quantile(q);
-            prop_assert!(v >= cdf.min().expect("non-empty"));
-            prop_assert!(v <= cdf.max().expect("non-empty"));
+            assert!(v >= cdf.min().expect("non-empty"));
+            assert!(v <= cdf.max().expect("non-empty"));
         }
-    }
+    });
+}
 
-    #[test]
-    fn sliding_window_matches_naive_median(
-        entries in prop::collection::vec((0u64..10_000, 0.0f64..1e3), 1..100),
-        span in 1u64..5_000,
-    ) {
+#[test]
+fn sliding_window_matches_naive_median() {
+    checker("sliding_window_matches_naive_median").run(|g| {
+        let entries = g.vec(1..100, |g| (g.u64(0..10_000), g.f64(0.0..1e3)));
+        let span = g.u64(1..5_000);
         let mut sorted = entries.clone();
         sorted.sort_by_key(|&(t, _)| t);
         let mut window = SlidingWindow::new(Some(span));
@@ -119,36 +219,44 @@ proptest! {
         }
         let now = sorted.last().expect("non-empty").0;
         let cutoff = now.saturating_sub(span);
-        let naive: Vec<f64> =
-            sorted.iter().filter(|&&(t, _)| t >= cutoff).map(|&(_, v)| v).collect();
+        let naive: Vec<f64> = sorted
+            .iter()
+            .filter(|&&(t, _)| t >= cutoff)
+            .map(|&(_, v)| v)
+            .collect();
         match window.median(now) {
             Some(m) => {
-                prop_assert!(!naive.is_empty());
+                assert!(!naive.is_empty());
                 let expected = cidre::metrics::median(&naive);
-                prop_assert!((m - expected).abs() < 1e-9, "window {m} vs naive {expected}");
+                assert!((m - expected).abs() < 1e-9, "window {m} vs naive {expected}");
             }
-            None => prop_assert!(naive.is_empty()),
+            None => assert!(naive.is_empty()),
         }
-    }
+    });
+}
 
-    #[test]
-    fn summary_merge_is_associative_enough(
-        a in prop::collection::vec(-1e3f64..1e3, 1..50),
-        b in prop::collection::vec(-1e3f64..1e3, 1..50),
-    ) {
+#[test]
+fn summary_merge_is_associative_enough() {
+    checker("summary_merge_is_associative_enough").run(|g| {
+        let a = g.vec(1..50, |g| g.f64(-1e3..1e3));
+        let b = g.vec(1..50, |g| g.f64(-1e3..1e3));
         let mut merged = Summary::from_samples(a.iter().copied());
         merged.merge(&Summary::from_samples(b.iter().copied()));
         let all: Summary = a.iter().chain(b.iter()).copied().collect();
-        prop_assert_eq!(merged.count(), all.count());
-        prop_assert!((merged.mean() - all.mean()).abs() < 1e-9);
-        prop_assert!((merged.variance() - all.variance()).abs() < 1e-6);
-    }
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-9);
+        assert!((merged.variance() - all.variance()).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn trace_transforms_preserve_length(trace in arb_trace(), factor in 0.1f64..4.0) {
+#[test]
+fn trace_transforms_preserve_length() {
+    checker("trace_transforms_preserve_length").run(|g| {
+        let trace = arb_trace(g);
+        let factor = g.f64(0.1..4.0);
         use cidre::trace::transform;
-        prop_assert_eq!(transform::scale_iat(&trace, factor).len(), trace.len());
-        prop_assert_eq!(transform::scale_exec(&trace, factor).len(), trace.len());
-        prop_assert_eq!(transform::scale_cold_start(&trace, factor).len(), trace.len());
-    }
+        assert_eq!(transform::scale_iat(&trace, factor).len(), trace.len());
+        assert_eq!(transform::scale_exec(&trace, factor).len(), trace.len());
+        assert_eq!(transform::scale_cold_start(&trace, factor).len(), trace.len());
+    });
 }
