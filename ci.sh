@@ -5,6 +5,14 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== lint: rustfmt =="
+cargo fmt --check
+
+echo "== lint: clippy (offline, all warnings deny) =="
+# --workspace pulls in crates/live too, which default-members exclude
+# from build/test; lints still cover it.
+cargo clippy --offline --workspace -- -D warnings
+
 echo "== tier 1: release build (offline) =="
 cargo build --release --offline
 

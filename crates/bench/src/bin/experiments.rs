@@ -74,7 +74,9 @@ fn main() -> ExitCode {
                 match parsed {
                     Some(Ok(list)) if !list.is_empty() => ctx.sweep.caches_gb = Some(list),
                     _ => {
-                        eprintln!("--caches-gb requires a non-empty comma-separated list of integers");
+                        eprintln!(
+                            "--caches-gb requires a non-empty comma-separated list of integers"
+                        );
                         return ExitCode::FAILURE;
                     }
                 }

@@ -7,6 +7,7 @@
 
 pub mod extra_placement;
 pub mod extra_variance;
+pub mod faults;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;

@@ -60,12 +60,13 @@ pub fn run(ctx: &ExpCtx) {
             env_list("SWEEP_CACHES_GB").map(|v| v.iter().filter_map(|s| s.parse().ok()).collect())
         })
         .unwrap_or_else(|| vec![80, 100, 120]);
-    let workload = ctx.sweep.workload.unwrap_or_else(|| {
-        match std::env::var("SWEEP_WORKLOAD").as_deref() {
-            Ok("fc") => Workload::Fc,
-            _ => Workload::Azure,
-        }
-    });
+    let workload =
+        ctx.sweep
+            .workload
+            .unwrap_or_else(|| match std::env::var("SWEEP_WORKLOAD").as_deref() {
+                Ok("fc") => Workload::Fc,
+                _ => Workload::Azure,
+            });
     crate::say!(
         "== Custom sweep: {policies:?} x {caches:?} GB on {} ==",
         workload.name()
@@ -75,7 +76,11 @@ pub fn run(ctx: &ExpCtx) {
     let trace = ctx.trace(workload);
     let scenarios: Vec<(String, _)> = caches
         .iter()
-        .flat_map(|&gb| policies.iter().map(move |p| (p.clone(), ctx.sim_config(gb))))
+        .flat_map(|&gb| {
+            policies
+                .iter()
+                .map(move |p| (p.clone(), ctx.sim_config(gb)))
+        })
         .collect();
     let reports = run_policy_batch(ctx, &trace, &scenarios);
 
@@ -87,7 +92,9 @@ pub fn run(ctx: &ExpCtx) {
         "delayed warm [%]",
         "warm [%]",
     ]);
-    let grid = caches.iter().flat_map(|&gb| policies.iter().map(move |p| (gb, p)));
+    let grid = caches
+        .iter()
+        .flat_map(|&gb| policies.iter().map(move |p| (gb, p)));
     for ((gb, policy), report) in grid.zip(&reports) {
         table.row([
             format!("{gb}"),

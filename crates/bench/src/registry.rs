@@ -136,6 +136,11 @@ pub fn registry() -> Vec<Experiment> {
             run: experiments::extra_variance::run,
         },
         Experiment {
+            name: "faults",
+            description: "extra: policy degradation under injected failures",
+            run: experiments::faults::run,
+        },
+        Experiment {
             name: "sweep",
             description: "custom policy x cache sweep (SWEEP_* env vars)",
             run: experiments::sweep::run,

@@ -34,10 +34,12 @@ use faas_sim::{ContainerId, ContainerInfo, KeepAlive, PolicyCtx};
 #[derive(Debug, Default)]
 pub struct CipKeepAlive {
     clocks: HashMap<ContainerId, f64>,
-    /// Priorities of containers evicted since the last admission; the
-    /// engine always reports an admission's evictions immediately before
-    /// the admission itself, so this is the per-admission batch.
-    evicted_batch: Vec<f64>,
+    /// Final priorities of recently evicted containers, keyed by id.
+    /// Admissions look up *their own* victims (the `evicted` slice the
+    /// engine reports) here; evictions that happen outside an admission
+    /// — crash evictions, TTL-style expirations — also land here but are
+    /// never mixed into an unrelated admission's inherited clock.
+    evicted_prio: HashMap<ContainerId, f64>,
 }
 
 impl CipKeepAlive {
@@ -49,6 +51,14 @@ impl CipKeepAlive {
     /// The container's current logical clock (0 if never set).
     pub fn clock(&self, id: ContainerId) -> f64 {
         self.clocks.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Number of containers currently holding a logical clock. Every
+    /// entry must correspond to a live container — evictions (including
+    /// crash evictions) drop the clock — so tests use this to assert no
+    /// orphaned clocks leak.
+    pub fn tracked_clocks(&self) -> usize {
+        self.clocks.len()
     }
 
     fn compute_priority(&self, c: &ContainerInfo, ctx: &PolicyCtx<'_>) -> f64 {
@@ -75,20 +85,32 @@ impl KeepAlive for CipKeepAlive {
         &mut self,
         container: &ContainerInfo,
         evicted: &[ContainerInfo],
-        _ctx: &PolicyCtx<'_>,
+        ctx: &PolicyCtx<'_>,
     ) {
-        let clock = if evicted.is_empty() {
-            0.0
-        } else {
-            self.evicted_batch.iter().copied().fold(0.0, f64::max)
-        };
-        self.evicted_batch.clear();
+        // §3.3: inherit the maximum priority among *this admission's*
+        // victims, taken from the `evicted` slice itself. Priorities are
+        // looked up from the recorded `on_evict` values (computed at
+        // eviction time, when the victim's function still counted it as
+        // warm); a victim never reported through `on_evict` — a desynced
+        // channel — falls back to recomputing from its snapshot rather
+        // than silently contributing nothing.
+        let clock = evicted
+            .iter()
+            .map(|v| {
+                self.evicted_prio
+                    .remove(&v.id)
+                    .unwrap_or_else(|| self.compute_priority(v, ctx))
+            })
+            .fold(0.0, f64::max);
+        // Entries not claimed by any admission (crash evictions, TTL
+        // expirations) must not inflate a later admission's clock.
+        self.evicted_prio.clear();
         self.clocks.insert(container.id, clock);
     }
 
     fn on_evict(&mut self, container: &ContainerInfo, ctx: &PolicyCtx<'_>) {
         let p = self.compute_priority(container, ctx);
-        self.evicted_batch.push(p);
+        self.evicted_prio.insert(container.id, p);
         self.clocks.remove(&container.id);
     }
 
@@ -235,6 +257,116 @@ mod tests {
         cip.on_admit(&i, &[], &ctx);
         assert_eq!(cip.clock(ContainerId(0)), 0.0);
         let _ = &mut cl;
+    }
+
+    #[test]
+    fn crash_eviction_outside_admission_does_not_inflate_clock() {
+        // Regression: `on_admit` used to fold the max over every priority
+        // reported through `on_evict` since the last admission. A crash
+        // eviction (reported outside any admission) therefore leaked into
+        // the next admission's inherited clock.
+        let mut cl = cluster_with(&[(0, 2), (1, 1)]);
+        cl.note_arrival(FunctionId(0), TimePoint::ZERO);
+        cl.note_arrival(FunctionId(1), TimePoint::ZERO);
+        let busy = Map::new();
+        let mut cip = CipKeepAlive::new();
+        let now = TimePoint::from_secs(10);
+        // Pump fn1's container to a high priority via repeated reuse.
+        let hot = ContainerId(2);
+        for _ in 0..5 {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            let i = info(&cl, hot);
+            cip.on_reuse(&i, &ctx);
+        }
+        let p_hot = {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            cip.priority(&info(&cl, hot), &ctx)
+        };
+        // Crash-evict the hot container — no admission follows it.
+        {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            let i = info(&cl, hot);
+            cip.on_evict(&i, &ctx);
+        }
+        cl.evict(hot);
+        // A later admission evicts one cold fn0 container.
+        let victim = ContainerId(0);
+        let vi = info(&cl, victim);
+        let p_victim = {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            cip.priority(&vi, &ctx)
+        };
+        assert!(p_hot > p_victim, "setup: crash victim must outrank");
+        {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            cip.on_evict(&vi, &ctx);
+        }
+        cl.evict(victim);
+        let new_id = cl.begin_provision(FunctionId(0), WorkerId(0), now, false);
+        cl.finish_provision(new_id, now);
+        {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            let i = info(&cl, new_id);
+            cip.on_admit(&i, &[vi], &ctx);
+        }
+        // The inherited clock comes from this admission's victim only,
+        // not from the unrelated crash eviction.
+        assert!(
+            (cip.clock(new_id) - p_victim).abs() < 1e-12,
+            "clock {} leaked the crash victim's priority {p_hot}",
+            cip.clock(new_id)
+        );
+    }
+
+    #[test]
+    fn admit_with_unreported_victim_recomputes_instead_of_zero() {
+        // Regression: if the eviction channel desyncs in the other
+        // direction (victims in the `evicted` slice that never went
+        // through `on_evict`), the new container used to start at clock 0.
+        let mut cl = cluster_with(&[(0, 1)]);
+        cl.note_arrival(FunctionId(0), TimePoint::ZERO);
+        let busy = Map::new();
+        let mut cip = CipKeepAlive::new();
+        let now = TimePoint::from_secs(60);
+        let vi = info(&cl, ContainerId(0));
+        let p = {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            cip.priority(&vi, &ctx)
+        };
+        assert!(p > 0.0);
+        cl.evict(ContainerId(0)); // cluster-side only; on_evict never fires
+        let new_id = cl.begin_provision(FunctionId(0), WorkerId(0), now, false);
+        cl.finish_provision(new_id, now);
+        {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            let i = info(&cl, new_id);
+            cip.on_admit(&i, &[vi], &ctx);
+        }
+        assert!(
+            cip.clock(new_id) > 0.0,
+            "unreported victim silently produced clock 0"
+        );
+    }
+
+    #[test]
+    fn eviction_drops_clock_with_no_orphans() {
+        let mut cl = cluster_with(&[(0, 2)]);
+        cl.note_arrival(FunctionId(0), TimePoint::ZERO);
+        let busy = Map::new();
+        let mut cip = CipKeepAlive::new();
+        let now = TimePoint::from_secs(10);
+        for id in [ContainerId(0), ContainerId(1)] {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            let i = info(&cl, id);
+            cip.on_reuse(&i, &ctx);
+        }
+        assert_eq!(cip.tracked_clocks(), 2);
+        for id in [ContainerId(0), ContainerId(1)] {
+            let ctx = PolicyCtx::new(now, &cl, &busy);
+            let i = info(&cl, id);
+            cip.on_evict(&i, &ctx);
+        }
+        assert_eq!(cip.tracked_clocks(), 0, "orphaned clocks after eviction");
     }
 
     #[test]

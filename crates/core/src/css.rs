@@ -40,10 +40,14 @@ impl Scaler for BssScaler {
 struct FnCssState {
     /// Whether the cold-start path is enabled for this function.
     bss_enabled: bool,
-    /// Last observed idle time `Ti` (ms) of a speculatively provisioned
-    /// container between finishing provisioning and first reuse;
-    /// `f64::INFINITY` when the last one was evicted without serving.
-    ti_ms: Option<f64>,
+    /// Last observed idle time `Ti` of a speculatively provisioned
+    /// container between finishing provisioning and first reuse, stored
+    /// as `(recorded_at_us, ti_ms)`; `f64::INFINITY` when the last one
+    /// was evicted without serving. Like every other Algorithm 1
+    /// statistic, the hint expires with the configured sliding window
+    /// (§3.2) — a `Ti` from outside the window must not keep flipping
+    /// BSS state.
+    ti: Option<(u64, f64)>,
     /// Windowed execution times (ms) for the `Te` estimate.
     te: SlidingWindow,
     /// Windowed delayed-warm-start waits (ms) for the `Td` estimate.
@@ -57,7 +61,7 @@ impl FnCssState {
         let w = window.map(|d| d.as_micros());
         Self {
             bss_enabled: true,
-            ti_ms: None,
+            ti: None,
             te: SlidingWindow::new(w),
             td: SlidingWindow::new(w),
             tp: SlidingWindow::new(w),
@@ -137,12 +141,20 @@ impl Scaler for CssScaler {
         let profile_cold_ms = ctx.profile(req.func).cold_start.as_millis_f64();
         let config = self.config;
         let st = self.state(req.func);
+        // The `Ti` hint ages out with the same window as the other
+        // statistics; at `age == window` it is still considered fresh,
+        // matching `SlidingWindow`'s cutoff semantics.
+        if let (Some(w), Some((at, _))) = (config.window, st.ti) {
+            if now_us.saturating_sub(at) > w.as_micros() {
+                st.ti = None;
+            }
+        }
         if st.bss_enabled {
             // Lines 1–9: disable the cold path when the last speculative
             // container idled longer than the expected execution time.
             let te = Self::estimate_te(&config, st, now_us);
-            match (st.ti_ms, te) {
-                (Some(ti), Some(te)) if ti > te => {
+            match (st.ti, te) {
+                (Some((_, ti)), Some(te)) if ti > te => {
                     st.bss_enabled = false;
                     ScaleDecision::WaitWarm
                 }
@@ -186,13 +198,15 @@ impl Scaler for CssScaler {
         }
     }
 
-    fn on_cold_outcome(&mut self, func: FunctionId, idle: Option<TimeDelta>, _ctx: &PolicyCtx<'_>) {
+    fn on_cold_outcome(&mut self, func: FunctionId, idle: Option<TimeDelta>, ctx: &PolicyCtx<'_>) {
+        let now_us = ctx.now.as_micros();
         let st = self.state(func);
-        st.ti_ms = Some(match idle {
+        let ti_ms = match idle {
             Some(d) => d.as_millis_f64(),
             // Evicted without ever serving: unconditionally wasted.
             None => f64::INFINITY,
-        });
+        };
+        st.ti = Some((now_us, ti_ms));
     }
 }
 

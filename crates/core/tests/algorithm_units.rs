@@ -162,6 +162,48 @@ fn css_td_equal_tp_boundary_stays_disabled() {
     assert!(!css.bss_enabled(FunctionId(0)));
 }
 
+/// The `Ti` hint expires with the configured sliding window, exactly
+/// like the statistics it is compared against (§3.2/Fig. 18): at
+/// `age == window` it still counts (matching `SlidingWindow`'s cutoff,
+/// which retains an entry exactly at the cutoff), one time unit later it
+/// is gone and can no longer disable the cold path.
+#[test]
+fn css_ti_hint_expires_with_window() {
+    let window_ms = 1_000u64;
+    let cl = one_fn_cluster();
+    let busy = Busy::new();
+    let make =
+        || CssScaler::new(CidreConfig::default().window(Some(TimeDelta::from_millis(window_ms))));
+
+    // Age exactly == window: the hint is still fresh and disables BSS.
+    let mut css = make();
+    css.on_cold_outcome(
+        FunctionId(0),
+        Some(TimeDelta::from_millis(500)), // Ti = 500 ms.
+        &ctx_at(&cl, &busy, 0),
+    );
+    record_exec(&mut css, &cl, &busy, window_ms, 50); // fresh Te = 50 ms.
+    assert_eq!(
+        css.on_blocked(&req(window_ms), &ctx_at(&cl, &busy, window_ms)),
+        ScaleDecision::WaitWarm
+    );
+    assert!(!css.bss_enabled(FunctionId(0)));
+
+    // One time unit past the window: the stale hint must not flip state.
+    let mut css = make();
+    css.on_cold_outcome(
+        FunctionId(0),
+        Some(TimeDelta::from_millis(500)),
+        &ctx_at(&cl, &busy, 0),
+    );
+    record_exec(&mut css, &cl, &busy, window_ms + 1, 50);
+    assert_eq!(
+        css.on_blocked(&req(window_ms + 1), &ctx_at(&cl, &busy, window_ms + 1)),
+        ScaleDecision::Race
+    );
+    assert!(css.bss_enabled(FunctionId(0)));
+}
+
 // ---------------------------------------------------------------- CIP --
 
 /// Cluster with `n` warm containers of function 0 (`mem_mb`, `cold_ms`),

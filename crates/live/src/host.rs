@@ -14,6 +14,13 @@
 //! timed delay of `profile.cold_start` scaled by
 //! [`crate::LiveConfig::time_scale`].
 //!
+//! Fault injection ([`faas_sim::FaultPlan`]) applies only to trace
+//! replay ([`crate::run_live`]): replay owns every request's lifecycle,
+//! so crashed executions can be voided and re-queued. The interactive
+//! host hands outputs to external callers the moment handlers return
+//! and therefore cannot un-deliver them; its fault counters are always
+//! zero.
+//!
 //! ```
 //! use faas_live::{FaasHost, LiveConfig};
 //! use faas_sim::baseline_lru_stack;
@@ -257,6 +264,10 @@ impl Orchestrator {
                         containers_created: self.cluster.containers_created,
                         containers_evicted: self.cluster.containers_evicted,
                         wasted_cold_starts: self.cluster.wasted_cold_starts,
+                        // Fault injection applies to trace replay
+                        // (`run_live`), not to the ad-hoc invocation host.
+                        provision_failures: 0,
+                        crash_evictions: 0,
                         finished_at: self.finished_at,
                     });
                     return;

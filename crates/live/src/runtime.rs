@@ -7,8 +7,8 @@ use std::time::{Duration, Instant};
 
 use faas_metrics::TimeSeries;
 use faas_sim::{
-    ClusterState, ContainerId, ContainerInfo, PendingReq, PolicyCtx, PolicyStack, RequestId,
-    RequestRecord, ScaleDecision, SimConfig, SimReport, StartClass,
+    ClusterState, ContainerId, ContainerInfo, FaultState, PendingReq, PolicyCtx, PolicyStack,
+    RequestId, RequestRecord, ScaleDecision, SimConfig, SimReport, StartClass, WorkerId,
 };
 use faas_trace::{FunctionId, TimeDelta, TimePoint, Trace};
 
@@ -60,6 +60,13 @@ enum Msg {
     ProvisionDone(ContainerId),
     ExecDone(ContainerId, RequestId),
     Tick,
+    /// Fault injection: a provision failed after its full latency.
+    ProvisionFailed(ContainerId),
+    /// Fault injection: a failed provision's backoff expired
+    /// (attempt number, speculative flag).
+    RetryProvision(FunctionId, u32, bool),
+    /// Fault injection: a worker crashes, killing its containers.
+    WorkerDown(WorkerId),
 }
 
 /// Replays `trace` on the live host under `stack`, returning the same
@@ -83,12 +90,23 @@ struct Runtime<'a> {
     requests: Vec<(FunctionId, TimePoint, TimeDelta)>,
     started: Vec<Option<(TimePoint, StartClass)>>,
     busy_until: HashMap<ContainerId, Vec<TimePoint>>,
-    deferred: VecDeque<(FunctionId, bool)>,
+    deferred: VecDeque<(FunctionId, bool, u32)>,
     records: Vec<RequestRecord>,
     memory: TimeSeries,
     incomplete: u64,
     finished_at: TimePoint,
     last_memory_us: u64,
+    faults: FaultState,
+    /// Whether the configured `FaultPlan` injects anything; when false the
+    /// fault bookkeeping is skipped, exactly as in the simulator.
+    fault_active: bool,
+    /// Retry attempt per provisioning container (fault runs only).
+    attempts: HashMap<ContainerId, u32>,
+    /// In-flight requests per container as `(rid, record index)` (fault
+    /// runs only), so a worker crash can void and re-queue them.
+    running: HashMap<ContainerId, Vec<(RequestId, usize)>>,
+    /// Arrival messages processed (request-conservation invariant).
+    arrived: u64,
 }
 
 impl<'a> Runtime<'a> {
@@ -131,6 +149,17 @@ impl<'a> Runtime<'a> {
         if !requests.is_empty() {
             timer.schedule(start + scale(config.sim.tick, config.time_scale), Msg::Tick);
         }
+        for &(at, worker) in &config.sim.faults.worker_crashes {
+            assert!(
+                (worker.0 as usize) < config.sim.workers_mb.len(),
+                "fault plan crashes unknown worker {worker:?}"
+            );
+            timer.schedule(
+                start + scale(at.saturating_since(TimePoint::ZERO), config.time_scale),
+                Msg::WorkerDown(worker),
+            );
+        }
+        let fault_active = !config.sim.faults.is_none();
         let incomplete = requests.len() as u64;
         let started = vec![None; requests.len()];
         Self {
@@ -149,6 +178,11 @@ impl<'a> Runtime<'a> {
             incomplete,
             finished_at: TimePoint::ZERO,
             last_memory_us: 0,
+            faults: FaultState::new(config.sim.faults.clone()),
+            fault_active,
+            attempts: HashMap::new(),
+            running: HashMap::new(),
+            arrived: 0,
         }
     }
 
@@ -166,7 +200,14 @@ impl<'a> Runtime<'a> {
                 Msg::ProvisionDone(cid) => self.on_provision_done(cid),
                 Msg::ExecDone(cid, rid) => self.on_exec_done(cid, rid),
                 Msg::Tick => self.on_tick(),
+                Msg::ProvisionFailed(cid) => self.on_provision_failed(cid),
+                Msg::RetryProvision(func, attempt, spec) => {
+                    self.on_retry_provision(func, attempt, spec)
+                }
+                Msg::WorkerDown(worker) => self.on_worker_down(worker),
             }
+            #[cfg(debug_assertions)]
+            faas_sim::InvariantChecker::check(&self.cluster, self.arrived, self.records.len());
         }
         assert_eq!(
             self.incomplete, 0,
@@ -178,11 +219,14 @@ impl<'a> Runtime<'a> {
             containers_created: self.cluster.containers_created,
             containers_evicted: self.cluster.containers_evicted,
             wasted_cold_starts: self.cluster.wasted_cold_starts,
+            provision_failures: self.cluster.provision_failures,
+            crash_evictions: self.cluster.crash_evictions,
             finished_at: self.finished_at,
         }
     }
 
     fn on_arrival(&mut self, rid: RequestId) {
+        self.arrived += 1;
         let now = self.now();
         let func = self.requests[rid.0 as usize].0;
         self.cluster.note_arrival(func, now);
@@ -226,7 +270,7 @@ impl<'a> Runtime<'a> {
                         req: rid,
                         cold_only: true,
                     });
-                self.request_provision(func, false, now);
+                self.request_provision(func, false, now, 0);
             }
             ScaleDecision::WaitWarm => {
                 self.cluster
@@ -245,7 +289,7 @@ impl<'a> Runtime<'a> {
                         req: rid,
                         cold_only: false,
                     });
-                self.request_provision(func, true, now);
+                self.request_provision(func, true, now, 0);
             }
             ScaleDecision::EnqueueOn(cid) => {
                 self.cluster.enqueue_local(cid, rid);
@@ -254,7 +298,14 @@ impl<'a> Runtime<'a> {
     }
 
     fn on_provision_done(&mut self, cid: ContainerId) {
+        if self.cluster.container(cid).is_none() {
+            // Stale message: the container's worker crashed while it was
+            // provisioning. Ids are never reused, so this is the only way
+            // the container can be gone; fault-free runs never hit this.
+            return;
+        }
         let now = self.now();
+        self.attempts.remove(&cid);
         self.cluster.finish_provision(cid, now);
         let func = self.cluster.container(cid).expect("just provisioned").func;
         if let Some(rid) = self.pop_pending(func, true) {
@@ -265,9 +316,25 @@ impl<'a> Runtime<'a> {
     }
 
     fn on_exec_done(&mut self, cid: ContainerId, rid: RequestId) {
+        if self.cluster.container(cid).is_none() {
+            // Stale message: the worker crashed mid-execution and the
+            // request was re-queued; a fresh ExecDone fires when it
+            // re-executes elsewhere.
+            return;
+        }
         let now = self.now();
         self.finished_at = self.finished_at.max(now);
         self.incomplete -= 1;
+        if self.fault_active {
+            if let Some(runs) = self.running.get_mut(&cid) {
+                if let Some(pos) = runs.iter().position(|&(r, _)| r == rid) {
+                    runs.swap_remove(pos);
+                }
+                if runs.is_empty() {
+                    self.running.remove(&cid);
+                }
+            }
+        }
         let func = self.requests[rid.0 as usize].0;
         self.cluster.note_completion(func);
         if let Some(ends) = self.busy_until.get_mut(&cid) {
@@ -318,7 +385,7 @@ impl<'a> Runtime<'a> {
             for func in wants {
                 let mem = self.cluster.profile(func).mem_mb;
                 if self.cluster.pick_worker(mem).is_some() {
-                    self.request_provision(func, false, now);
+                    self.request_provision(func, false, now, 0);
                 }
             }
         }
@@ -327,6 +394,144 @@ impl<'a> Runtime<'a> {
                 Instant::now() + scale(self.config.sim.tick, self.config.time_scale),
                 Msg::Tick,
             );
+        }
+    }
+
+    /// A provision failed (fault injection): abandon the container,
+    /// signal the policies, and schedule a retry with capped exponential
+    /// backoff — mirroring the simulator's handler on the wall clock.
+    fn on_provision_failed(&mut self, cid: ContainerId) {
+        let Some(c) = self.cluster.container(cid) else {
+            // The worker crashed before the failure fired; the crash
+            // handler already re-provisioned for the backlog.
+            return;
+        };
+        let now = self.now();
+        let func = c.func;
+        let speculative = c.speculative_unused;
+        let attempt = self.attempts.remove(&cid).unwrap_or(0);
+        let info = self.cluster.fail_provision(cid);
+        self.note_memory(now);
+        {
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            self.policies.keepalive.on_evict(&info, &ctx);
+            if speculative {
+                // A failed speculative cold start burned a provision and
+                // served nobody (Ti = ∞ for CSS).
+                self.policies.scaler.on_cold_outcome(func, None, &ctx);
+            }
+        }
+        let next = attempt + 1;
+        self.timer.schedule(
+            Instant::now() + scale(self.faults.plan().backoff(next), self.config.time_scale),
+            Msg::RetryProvision(func, next, speculative),
+        );
+        self.retry_deferred(now);
+    }
+
+    /// A failed provision's backoff expired: retry unless the backlog
+    /// drained during the wait (cold-only waiters keep the channel
+    /// non-empty until a provision serves them, so skipping is safe).
+    fn on_retry_provision(&mut self, func: FunctionId, attempt: u32, speculative: bool) {
+        let backlog = self
+            .cluster
+            .fn_runtime(func)
+            .map(|rt| !rt.pending.is_empty())
+            .unwrap_or(false);
+        if backlog {
+            let now = self.now();
+            self.request_provision(func, speculative, now, attempt);
+        }
+    }
+
+    /// A worker crashes: its containers die, in-flight requests and
+    /// local queues are re-queued (records voided), and affected
+    /// functions are re-provisioned so cold-only waiters are not
+    /// stranded. Mirrors the simulator's handler.
+    fn on_worker_down(&mut self, worker: WorkerId) {
+        if !self.cluster.worker_is_alive(worker) {
+            return; // duplicate crash message
+        }
+        let now = self.now();
+        self.cluster.mark_worker_down(worker);
+        let victims = self.cluster.containers_on(worker);
+        let mut voided: Vec<usize> = Vec::new();
+        let mut requeue: Vec<(FunctionId, RequestId)> = Vec::new();
+        let mut affected: Vec<FunctionId> = Vec::new();
+        for cid in victims {
+            self.attempts.remove(&cid);
+            if let Some(runs) = self.running.remove(&cid) {
+                for (rid, rec_idx) in runs {
+                    voided.push(rec_idx);
+                    self.started[rid.0 as usize] = None;
+                    requeue.push((self.requests[rid.0 as usize].0, rid));
+                }
+            }
+            self.busy_until.remove(&cid);
+            let (info, local_queued) = self.cluster.crash_evict(cid);
+            affected.push(info.func);
+            for rid in local_queued {
+                requeue.push((info.func, rid));
+            }
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            self.policies.keepalive.on_evict(&info, &ctx);
+            // No `on_cold_outcome`: a crash says nothing about whether
+            // speculation was wasteful.
+        }
+        self.note_memory(now);
+        self.remove_records(voided);
+        requeue.sort_by_key(|&(_, rid)| rid);
+        for &(func, rid) in &requeue {
+            self.cluster
+                .fn_runtime_mut(func)
+                .pending
+                .push_back(PendingReq {
+                    req: rid,
+                    cold_only: false,
+                });
+        }
+        affected.extend(requeue.iter().map(|&(f, _)| f));
+        affected.sort_unstable();
+        affected.dedup();
+        for func in affected {
+            let Some(rt) = self.cluster.fn_runtime(func) else {
+                continue;
+            };
+            let pending = rt.pending.len();
+            let cold_only = rt.pending.iter().filter(|p| p.cold_only).count();
+            let provisioning = rt.provisioning.len();
+            let warm = rt.warm.len();
+            let mut need = cold_only.saturating_sub(provisioning);
+            if need == 0 && pending > 0 && warm == 0 && provisioning == 0 {
+                need = 1;
+            }
+            for _ in 0..need {
+                self.request_provision(func, false, now, 0);
+            }
+        }
+        self.retry_deferred(now);
+    }
+
+    /// Voids crash-killed record indices and remaps the surviving
+    /// in-flight records' indices.
+    fn remove_records(&mut self, mut voided: Vec<usize>) {
+        if voided.is_empty() {
+            return;
+        }
+        voided.sort_unstable();
+        let old = std::mem::take(&mut self.records);
+        let mut vi = 0;
+        for (i, r) in old.into_iter().enumerate() {
+            if vi < voided.len() && voided[vi] == i {
+                vi += 1;
+            } else {
+                self.records.push(r);
+            }
+        }
+        for runs in self.running.values_mut() {
+            for (_, idx) in runs.iter_mut() {
+                *idx -= voided.partition_point(|&v| v < *idx);
+            }
         }
     }
 
@@ -351,6 +556,14 @@ impl<'a> Runtime<'a> {
             exec,
             class,
         });
+        if self.fault_active {
+            // Track in-flight work so a worker crash can void the record
+            // and re-queue the request.
+            self.running
+                .entry(cid)
+                .or_default()
+                .push((rid, self.records.len() - 1));
+        }
 
         let info = faas_sim::RequestInfo {
             id: rid,
@@ -371,10 +584,16 @@ impl<'a> Runtime<'a> {
         }
     }
 
-    fn request_provision(&mut self, func: FunctionId, speculative: bool, now: TimePoint) {
+    fn request_provision(
+        &mut self,
+        func: FunctionId,
+        speculative: bool,
+        now: TimePoint,
+        attempt: u32,
+    ) {
         let mem = self.cluster.profile(func).mem_mb;
         let Some(worker) = self.cluster.pick_worker(mem) else {
-            self.deferred.push_back((func, speculative));
+            self.deferred.push_back((func, speculative, attempt));
             return;
         };
         let mut evicted = Vec::new();
@@ -395,7 +614,7 @@ impl<'a> Runtime<'a> {
             let mut victims = candidates.into_iter();
             while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
                 let Some((_, victim)) = victims.next() else {
-                    self.deferred.push_back((func, speculative));
+                    self.deferred.push_back((func, speculative, attempt));
                     return;
                 };
                 evicted.push(self.evict_container(victim, now));
@@ -412,6 +631,29 @@ impl<'a> Runtime<'a> {
                 .provision_latency(func, &ctx)
                 .unwrap_or_else(|| self.cluster.profile(func).cold_start)
         };
+        if self.fault_active {
+            self.attempts.insert(cid, attempt);
+            if self.faults.provision_fails() {
+                // The failure surfaces only after the full provisioning
+                // latency was spent — like a real timed-out cold start.
+                self.timer.schedule(
+                    Instant::now() + scale(cold, self.config.time_scale),
+                    Msg::ProvisionFailed(cid),
+                );
+                return;
+            }
+            let factor = self.faults.straggler_factor();
+            let cold = if factor > 1.0 {
+                cold.scale(factor)
+            } else {
+                cold
+            };
+            self.timer.schedule(
+                Instant::now() + scale(cold, self.config.time_scale),
+                Msg::ProvisionDone(cid),
+            );
+            return;
+        }
         self.timer.schedule(
             Instant::now() + scale(cold, self.config.time_scale),
             Msg::ProvisionDone(cid),
@@ -445,13 +687,13 @@ impl<'a> Runtime<'a> {
     }
 
     fn retry_deferred(&mut self, now: TimePoint) {
-        while let Some(&(func, speculative)) = self.deferred.front() {
+        while let Some(&(func, speculative, attempt)) = self.deferred.front() {
             let mem = self.cluster.profile(func).mem_mb;
             if self.cluster.pick_worker(mem).is_none() {
                 break;
             }
             self.deferred.pop_front();
-            self.request_provision(func, speculative, now);
+            self.request_provision(func, speculative, now, attempt);
         }
     }
 
@@ -525,5 +767,55 @@ mod tests {
     #[should_panic(expected = "time scale must be positive")]
     fn rejects_bad_scale() {
         let _ = LiveConfig::default().time_scale(0.0);
+    }
+
+    #[test]
+    fn provision_failures_retry_on_live_host() {
+        use faas_sim::FaultPlan;
+        let sim = SimConfig::default().workers_mb(vec![1024]).faults(
+            FaultPlan::none()
+                .seed(3)
+                .provision_failures(0.8)
+                .retry_backoff(TimeDelta::from_millis(10), TimeDelta::from_millis(80)),
+        );
+        let config = LiveConfig::default().sim(sim).time_scale(0.02);
+        let report = run_live(&tiny_trace(), &config, baseline_lru_stack());
+        // Both requests complete despite failed provisions; every
+        // failure is retried until one succeeds.
+        assert_eq!(report.requests.len(), 2);
+        assert!(report.provision_failures > 0, "seed 3 at p=0.8 must fail");
+        assert_eq!(
+            report.containers_created,
+            report.provision_failures + report.count(StartClass::Cold)
+        );
+    }
+
+    #[test]
+    fn worker_crash_reexecutes_on_live_host() {
+        use faas_sim::FaultPlan;
+        // One long request on worker 0 of 2; the crash at simulated
+        // t = 500 ms hits mid-execution, and the request re-executes.
+        let f = FunctionProfile::new(FunctionId(0), "f", 128, TimeDelta::from_millis(100));
+        let invs = vec![Invocation {
+            func: FunctionId(0),
+            arrival: TimePoint::ZERO,
+            exec: TimeDelta::from_millis(1_000),
+        }];
+        let trace = Trace::new(vec![f], invs).expect("valid");
+        let sim = SimConfig::default()
+            .workers_mb(vec![1024, 1024])
+            .faults(FaultPlan::none().crash_worker(TimePoint::from_millis(500), WorkerId(0)));
+        let config = LiveConfig::default().sim(sim).time_scale(0.02);
+        let report = run_live(&trace, &config, baseline_lru_stack());
+        assert_eq!(report.requests.len(), 1);
+        assert_eq!(report.crash_evictions, 1);
+        assert_eq!(report.containers_created, 2);
+        // The recorded wait covers the doomed first run plus the
+        // re-provision: well above a plain 100 ms cold start.
+        assert!(
+            report.requests[0].wait > TimeDelta::from_millis(400),
+            "wait {:?} should include the crashed attempt",
+            report.requests[0].wait
+        );
     }
 }

@@ -11,8 +11,9 @@ use std::collections::VecDeque;
 /// and evaluates window sizes of 5/10/15 minutes and unbounded history
 /// (Fig. 18). An unbounded window (`None`) keeps all history.
 ///
-/// Timestamps are opaque `u64` time units and must be recorded in
-/// non-decreasing order.
+/// Timestamps are opaque `u64` time units and are expected in
+/// non-decreasing order; an out-of-order timestamp is clamped to the
+/// last-seen one (see [`SlidingWindow::record`]).
 ///
 /// # Examples
 ///
@@ -49,16 +50,19 @@ impl SlidingWindow {
 
     /// Records an observation at time `now`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `now` precedes the most recently recorded timestamp.
+    /// Timestamps are expected to be non-decreasing, but wall-clock
+    /// callers (e.g. `faas-live`, where scheduler jitter can deliver two
+    /// callbacks in the opposite order of their timestamps) may observe
+    /// small regressions. An out-of-order `now` is clamped to the most
+    /// recently recorded timestamp: the observation is kept (its value
+    /// still counts toward the window statistics) and is treated as
+    /// having arrived at the clamped time for expiry purposes, so the
+    /// window's time axis stays monotone.
     pub fn record(&mut self, now: u64, value: f64) {
-        if let Some(&(last, _)) = self.entries.back() {
-            assert!(
-                now >= last,
-                "sliding window timestamps must be non-decreasing"
-            );
-        }
+        let now = match self.entries.back() {
+            Some(&(last, _)) => now.max(last),
+            None => now,
+        };
         self.entries.push_back((now, value));
         self.expire(now);
     }
@@ -177,11 +181,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-decreasing")]
-    fn out_of_order_record_panics() {
+    fn out_of_order_record_clamps_to_last_seen() {
+        // Wall-clock jitter (faas-live) can deliver callbacks slightly out
+        // of order; the value must be kept, stamped at the clamped time.
         let mut w = SlidingWindow::new(None);
         w.record(10, 1.0);
         w.record(5, 2.0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.last(), Some(2.0));
+        let v: Vec<_> = w.iter().collect();
+        assert_eq!(v, vec![(10, 1.0), (10, 2.0)]);
+    }
+
+    #[test]
+    fn clamped_entry_expires_with_its_clamped_timestamp() {
+        let mut w = SlidingWindow::new(Some(10));
+        w.record(100, 1.0);
+        w.record(95, 2.0); // clamped to t=100
+                           // At t=111 the cutoff is 101: both entries (now both at t=100)
+                           // expire together rather than the clamped one expiring "early".
+        w.expire(110);
+        assert_eq!(w.len(), 2);
+        w.expire(111);
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct Worker {
     /// Aggregate memory of the containers in `idle`, in MB (kept
     /// incrementally so placement checks are O(1)).
     pub idle_mb: u64,
+    /// Whether the worker is up. Crashed workers (fault injection) stay
+    /// down for the rest of the run and host no new containers.
+    pub alive: bool,
 }
 
 impl Worker {
@@ -96,6 +99,11 @@ pub struct ClusterState {
     pub containers_evicted: u64,
     /// Speculative containers evicted without ever serving a request.
     pub wasted_cold_starts: u64,
+    /// Provisions that failed (fault injection) and were abandoned.
+    pub provision_failures: u64,
+    /// Containers destroyed by worker crashes (fault injection); also
+    /// counted in `containers_evicted`.
+    pub crash_evictions: u64,
 }
 
 impl ClusterState {
@@ -143,6 +151,7 @@ impl ClusterState {
                 used_mb: 0,
                 idle: BTreeSet::new(),
                 idle_mb: 0,
+                alive: true,
             })
             .collect();
         Self {
@@ -157,6 +166,8 @@ impl ClusterState {
             containers_created: 0,
             containers_evicted: 0,
             wasted_cold_starts: 0,
+            provision_failures: 0,
+            crash_evictions: 0,
         }
     }
 
@@ -245,24 +256,24 @@ impl ClusterState {
                 if let Some(w) = self
                     .workers
                     .iter()
-                    .filter(|w| w.free_mb() >= need)
+                    .filter(|w| w.alive && w.free_mb() >= need)
                     .max_by_key(|w| (w.free_mb(), std::cmp::Reverse(w.id)))
                 {
                     return Some(w.id);
                 }
                 self.workers
                     .iter()
-                    .filter(|w| w.reclaimable_mb() >= need)
+                    .filter(|w| w.alive && w.reclaimable_mb() >= need)
                     .max_by_key(|w| (w.reclaimable_mb(), std::cmp::Reverse(w.id)))
                     .map(|w| w.id)
             }
             Placement::FirstFit => {
-                if let Some(w) = self.workers.iter().find(|w| w.free_mb() >= need) {
+                if let Some(w) = self.workers.iter().find(|w| w.alive && w.free_mb() >= need) {
                     return Some(w.id);
                 }
                 self.workers
                     .iter()
-                    .find(|w| w.reclaimable_mb() >= need)
+                    .find(|w| w.alive && w.reclaimable_mb() >= need)
                     .map(|w| w.id)
             }
             Placement::RoundRobin => {
@@ -272,6 +283,9 @@ impl ClusterState {
                     for off in 0..n {
                         let idx = (self.round_robin_next + off) % n;
                         let w = &self.workers[idx];
+                        if !w.alive {
+                            continue;
+                        }
                         let fits = if pass == 0 {
                             w.free_mb() >= need
                         } else {
@@ -443,6 +457,172 @@ impl ClusterState {
         }
         w.used_mb -= c.mem_mb as u64;
         info
+    }
+
+    /// Whether `worker` is up.
+    pub fn worker_is_alive(&self, worker: WorkerId) -> bool {
+        self.workers[worker.0 as usize].alive
+    }
+
+    /// Marks a worker as crashed (fault injection). The caller must
+    /// [`ClusterState::crash_evict`] its containers; the worker hosts no
+    /// new ones for the rest of the run.
+    pub fn mark_worker_down(&mut self, worker: WorkerId) {
+        self.workers[worker.0 as usize].alive = false;
+    }
+
+    /// Ids of every live (warm or provisioning) container hosted on
+    /// `worker`, sorted for deterministic iteration.
+    pub fn containers_on(&self, worker: WorkerId) -> Vec<ContainerId> {
+        let mut v: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| c.worker == worker)
+            .map(|c| c.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Abandons a provisioning container whose provision failed (fault
+    /// injection), releasing its memory. Returns its final snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not in the `Provisioning` state.
+    pub fn fail_provision(&mut self, id: ContainerId) -> ContainerInfo {
+        let c = self
+            .containers
+            .remove(&id)
+            .expect("fail_provision of unknown container");
+        assert_eq!(
+            c.state,
+            ContainerState::Provisioning,
+            "can only fail a provisioning container"
+        );
+        let info = ContainerInfo::from(&c);
+        self.provision_failures += 1;
+        self.fn_runtime_mut(c.func).provisioning.remove(&id);
+        self.workers[c.worker.0 as usize].used_mb -= c.mem_mb as u64;
+        info
+    }
+
+    /// Force-removes a container in any state — provisioning, idle, or
+    /// busy — because its worker crashed. Returns the final snapshot and
+    /// the drained local queue (the engine re-queues those requests on
+    /// the function channel). A still-unused speculative container that
+    /// had turned warm counts as a wasted cold start; one that never
+    /// finished provisioning does not (it is the engine's job to signal
+    /// the scaler about failed provisions, not crashes).
+    pub fn crash_evict(&mut self, id: ContainerId) -> (ContainerInfo, Vec<RequestId>) {
+        let mut c = self
+            .containers
+            .remove(&id)
+            .expect("crash_evict of unknown container");
+        let info = ContainerInfo::from(&c);
+        let queued: Vec<RequestId> = c.local_queue.drain(..).collect();
+        if c.state == ContainerState::Warm && c.speculative_unused {
+            self.wasted_cold_starts += 1;
+        }
+        self.containers_evicted += 1;
+        self.crash_evictions += 1;
+        let rt = self.fn_runtime_mut(c.func);
+        rt.provisioning.remove(&id);
+        rt.free_threads.remove(&id);
+        rt.warm.remove(&id);
+        let w = &mut self.workers[c.worker.0 as usize];
+        if w.idle.remove(&id) {
+            w.idle_mb -= c.mem_mb as u64;
+        }
+        w.used_mb -= c.mem_mb as u64;
+        (info, queued)
+    }
+
+    /// Requests waiting across every function channel.
+    pub fn total_pending(&self) -> usize {
+        self.fns.values().map(|rt| rt.pending.len()).sum()
+    }
+
+    /// Requests waiting across every container-local queue.
+    pub fn total_local_queued(&self) -> usize {
+        self.containers.values().map(|c| c.local_queue.len()).sum()
+    }
+
+    /// Checks every internal bookkeeping invariant: per-worker memory
+    /// accounting matches the hosted containers and stays within
+    /// capacity, idle sets hold exactly the fully idle containers, and
+    /// the per-function state sets agree with container states.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violated invariant (a bug in the engine or cluster).
+    pub fn validate(&self) {
+        for w in &self.workers {
+            let sum: u64 = self
+                .containers
+                .values()
+                .filter(|c| c.worker == w.id)
+                .map(|c| c.mem_mb as u64)
+                .sum();
+            assert_eq!(
+                w.used_mb, sum,
+                "worker {:?}: charged {} MB but containers hold {} MB",
+                w.id, w.used_mb, sum
+            );
+            assert!(
+                w.used_mb <= w.capacity_mb,
+                "worker {:?} over capacity: {} > {} MB",
+                w.id,
+                w.used_mb,
+                w.capacity_mb
+            );
+            let idle_sum: u64 = w
+                .idle
+                .iter()
+                .map(|id| self.containers[id].mem_mb as u64)
+                .sum();
+            assert_eq!(w.idle_mb, idle_sum, "worker {:?} idle_mb drifted", w.id);
+            for id in &w.idle {
+                let c = self
+                    .containers
+                    .get(id)
+                    .expect("idle set references dead container");
+                assert!(
+                    c.state == ContainerState::Warm && c.is_idle(),
+                    "non-idle container {id:?} in idle set"
+                );
+            }
+        }
+        for (func, rt) in &self.fns {
+            for id in &rt.provisioning {
+                let c = self
+                    .containers
+                    .get(id)
+                    .expect("provisioning set references dead container");
+                assert!(c.func == *func && c.state == ContainerState::Provisioning);
+            }
+            for id in &rt.warm {
+                let c = self
+                    .containers
+                    .get(id)
+                    .expect("warm set references dead container");
+                assert!(c.func == *func && c.state == ContainerState::Warm);
+            }
+            for id in &rt.free_threads {
+                let c = self
+                    .containers
+                    .get(id)
+                    .expect("free_threads set references dead container");
+                assert!(c.func == *func && c.has_free_thread());
+            }
+        }
+        for c in self.containers.values() {
+            let rt = self.fns.get(&c.func).expect("container without fn runtime");
+            match c.state {
+                ContainerState::Provisioning => assert!(rt.provisioning.contains(&c.id)),
+                ContainerState::Warm => assert!(rt.warm.contains(&c.id)),
+            }
+        }
     }
 
     /// Picks the container a new request should run on: among warm

@@ -2,6 +2,8 @@
 
 use faas_trace::TimeDelta;
 
+use crate::fault::FaultPlan;
+
 /// Strategy for choosing which worker hosts a newly provisioned
 /// container. Only workers that can fit the container (free memory, or
 /// free plus evictable idle memory) are considered.
@@ -46,6 +48,9 @@ pub struct SimConfig {
     pub record_memory: bool,
     /// Worker-placement strategy for new containers.
     pub placement: Placement,
+    /// Fault-injection schedule ([`FaultPlan::none`] by default — zero
+    /// RNG draws, zero fault events, byte-identical to fault-free runs).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -66,6 +71,7 @@ impl SimConfig {
             tick: TimeDelta::from_secs(10),
             record_memory: true,
             placement: Placement::MaxFree,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -106,6 +112,12 @@ impl SimConfig {
         self.placement = placement;
         self
     }
+
+    /// Sets the fault-injection plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +152,14 @@ mod tests {
         assert_eq!(SimConfig::default().placement, Placement::MaxFree);
         let cfg = SimConfig::default().placement(Placement::RoundRobin);
         assert_eq!(cfg.placement, Placement::RoundRobin);
+    }
+
+    #[test]
+    fn default_faults_are_none() {
+        let cfg = SimConfig::default();
+        assert!(cfg.faults.is_none());
+        assert_eq!(cfg, SimConfig::default().faults(FaultPlan::none()));
+        let faulty = SimConfig::default().faults(FaultPlan::none().provision_failures(0.1));
+        assert!(!faulty.faults.is_none());
     }
 }

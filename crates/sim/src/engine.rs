@@ -28,7 +28,8 @@ use faas_trace::{FunctionId, TimePoint, Trace};
 use crate::cluster::{ClusterState, PendingReq, PolicyCtx};
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
-use crate::ids::{ContainerId, RequestId};
+use crate::fault::FaultState;
+use crate::ids::{ContainerId, RequestId, WorkerId};
 use crate::policy::{PolicyStack, ScaleDecision, StartClass};
 use crate::report::{RequestRecord, SimReport};
 use crate::request::RequestState;
@@ -63,7 +64,7 @@ struct Simulation<'a> {
     events: EventQueue,
     requests: Vec<RequestState>,
     busy_until: HashMap<ContainerId, Vec<TimePoint>>,
-    deferred: VecDeque<(FunctionId, bool)>,
+    deferred: VecDeque<(FunctionId, bool, u32)>,
     policies: PolicyStack,
     config: &'a SimConfig,
     now: TimePoint,
@@ -71,6 +72,19 @@ struct Simulation<'a> {
     records: Vec<RequestRecord>,
     memory: TimeSeries,
     finished_at: TimePoint,
+    faults: FaultState,
+    /// Whether the configured `FaultPlan` injects anything. When false,
+    /// all fault bookkeeping (attempt counters, running-request tracking)
+    /// is skipped so fault-free runs take the exact pre-fault code path.
+    fault_active: bool,
+    /// Retry attempt number per provisioning container (fault runs only).
+    attempts: HashMap<ContainerId, u32>,
+    /// In-flight requests per container as `(rid, record index)` (fault
+    /// runs only) — a worker crash voids those records and re-queues the
+    /// requests.
+    running: HashMap<ContainerId, Vec<(RequestId, usize)>>,
+    /// Arrival events processed so far (request-conservation invariant).
+    arrived: u64,
 }
 
 impl<'a> Simulation<'a> {
@@ -106,6 +120,14 @@ impl<'a> Simulation<'a> {
         if !requests.is_empty() {
             events.push(TimePoint::ZERO + config.tick, Event::Tick);
         }
+        for &(at, worker) in &config.faults.worker_crashes {
+            assert!(
+                (worker.0 as usize) < config.workers_mb.len(),
+                "fault plan crashes unknown worker {worker:?}"
+            );
+            events.push(at, Event::WorkerDown(worker));
+        }
+        let fault_active = !config.faults.is_none();
         let incomplete = requests.len() as u64;
         Self {
             cluster,
@@ -120,6 +142,11 @@ impl<'a> Simulation<'a> {
             records: Vec::new(),
             memory: TimeSeries::new(),
             finished_at: TimePoint::ZERO,
+            faults: FaultState::new(config.faults.clone()),
+            fault_active,
+            attempts: HashMap::new(),
+            running: HashMap::new(),
+            arrived: 0,
         }
     }
 
@@ -131,7 +158,18 @@ impl<'a> Simulation<'a> {
                 Event::ProvisionDone(cid) => self.on_provision_done(cid),
                 Event::ExecDone(cid, rid) => self.on_exec_done(cid, rid),
                 Event::Tick => self.on_tick(),
+                Event::ProvisionFailed(cid) => self.on_provision_failed(cid),
+                Event::RetryProvision(func, attempt, spec) => {
+                    self.on_retry_provision(func, attempt, spec)
+                }
+                Event::WorkerDown(worker) => self.on_worker_down(worker),
             }
+            #[cfg(debug_assertions)]
+            crate::invariant::InvariantChecker::check(
+                &self.cluster,
+                self.arrived,
+                self.records.len(),
+            );
         }
         assert_eq!(
             self.incomplete, 0,
@@ -143,6 +181,8 @@ impl<'a> Simulation<'a> {
             containers_created: self.cluster.containers_created,
             containers_evicted: self.cluster.containers_evicted,
             wasted_cold_starts: self.cluster.wasted_cold_starts,
+            provision_failures: self.cluster.provision_failures,
+            crash_evictions: self.cluster.crash_evictions,
             finished_at: self.finished_at,
         }
     }
@@ -150,6 +190,7 @@ impl<'a> Simulation<'a> {
     // -- event handlers --------------------------------------------------
 
     fn on_arrival(&mut self, rid: RequestId) {
+        self.arrived += 1;
         let func = self.requests[rid.0 as usize].func;
         self.cluster.note_arrival(func, self.now);
         if let Some(cid) = self.cluster.pick_available(func) {
@@ -189,7 +230,7 @@ impl<'a> Simulation<'a> {
                         req: rid,
                         cold_only: true,
                     });
-                self.request_provision(func, false);
+                self.request_provision(func, false, 0);
             }
             ScaleDecision::WaitWarm => {
                 self.cluster
@@ -208,7 +249,7 @@ impl<'a> Simulation<'a> {
                         req: rid,
                         cold_only: false,
                     });
-                self.request_provision(func, true);
+                self.request_provision(func, true, 0);
             }
             ScaleDecision::EnqueueOn(cid) => {
                 let ok = self.cluster.enqueue_local(cid, rid);
@@ -218,6 +259,13 @@ impl<'a> Simulation<'a> {
     }
 
     fn on_provision_done(&mut self, cid: ContainerId) {
+        if self.cluster.container(cid).is_none() {
+            // Stale event: the container's worker crashed while it was
+            // provisioning. Ids are never reused, so this is the only way
+            // the container can be gone; fault-free runs never hit this.
+            return;
+        }
+        self.attempts.remove(&cid);
         self.cluster.finish_provision(cid, self.now);
         let func = self.cluster.container(cid).expect("just provisioned").func;
         if let Some(rid) = self.pop_pending(func, true) {
@@ -231,8 +279,24 @@ impl<'a> Simulation<'a> {
     }
 
     fn on_exec_done(&mut self, cid: ContainerId, rid: RequestId) {
+        if self.cluster.container(cid).is_none() {
+            // Stale event: the container's worker crashed mid-execution
+            // and the request was re-queued; a fresh ExecDone will fire
+            // when it re-executes elsewhere.
+            return;
+        }
         self.finished_at = self.finished_at.max(self.now);
         self.incomplete -= 1;
+        if self.fault_active {
+            if let Some(runs) = self.running.get_mut(&cid) {
+                if let Some(pos) = runs.iter().position(|&(r, _)| r == rid) {
+                    runs.swap_remove(pos);
+                }
+                if runs.is_empty() {
+                    self.running.remove(&cid);
+                }
+            }
+        }
         let func = self.requests[rid.0 as usize].func;
         self.cluster.note_completion(func);
         if let Some(ends) = self.busy_until.get_mut(&cid) {
@@ -291,12 +355,163 @@ impl<'a> Simulation<'a> {
                 let mem = self.cluster.profile(func).mem_mb;
                 // Prewarms are best-effort: skip rather than defer.
                 if self.cluster.pick_worker(mem).is_some() {
-                    self.request_provision(func, false);
+                    self.request_provision(func, false, 0);
                 }
             }
         }
         if self.incomplete > 0 {
             self.events.push(self.now + self.config.tick, Event::Tick);
+        }
+    }
+
+    /// A provision failed (fault injection): abandon the container,
+    /// signal the policies, and schedule a retry with capped exponential
+    /// backoff.
+    fn on_provision_failed(&mut self, cid: ContainerId) {
+        let Some(c) = self.cluster.container(cid) else {
+            // The container's worker crashed before the failure fired.
+            // The crash handler already re-provisioned for the backlog.
+            return;
+        };
+        let func = c.func;
+        let speculative = c.speculative_unused;
+        let attempt = self.attempts.remove(&cid).unwrap_or(0);
+        let info = self.cluster.fail_provision(cid);
+        self.note_memory();
+        {
+            let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
+            // Drop any policy state keyed on the dead container (e.g.
+            // CIP's logical clock).
+            self.policies.keepalive.on_evict(&info, &ctx);
+            if speculative {
+                // A failed speculative cold start is the strongest
+                // "wasted" signal: it burned a provision and served
+                // nobody (Ti = ∞ for CSS).
+                self.policies.scaler.on_cold_outcome(func, None, &ctx);
+            }
+        }
+        let next = attempt + 1;
+        self.events.push(
+            self.now + self.faults.plan().backoff(next),
+            Event::RetryProvision(func, next, speculative),
+        );
+        // The failure released memory a deferred provision may want.
+        self.retry_deferred();
+    }
+
+    /// A failed provision's backoff expired: retry, unless the backlog
+    /// drained during the wait (every cold-only request keeps the
+    /// function's channel non-empty until a provision serves it, so
+    /// skipping on an empty channel never strands anyone).
+    fn on_retry_provision(&mut self, func: FunctionId, attempt: u32, speculative: bool) {
+        let backlog = self
+            .cluster
+            .fn_runtime(func)
+            .map(|rt| !rt.pending.is_empty())
+            .unwrap_or(false);
+        if backlog {
+            self.request_provision(func, speculative, attempt);
+        }
+    }
+
+    /// A worker crashes: every container on it dies. In-flight requests
+    /// and container-local queues are re-queued on their function
+    /// channels (their records are voided — they will re-execute), and
+    /// affected functions are re-provisioned as needed so cold-only
+    /// waiters are not stranded.
+    fn on_worker_down(&mut self, worker: WorkerId) {
+        if !self.cluster.worker_is_alive(worker) {
+            return; // duplicate crash event
+        }
+        self.cluster.mark_worker_down(worker);
+        let victims = self.cluster.containers_on(worker);
+        let mut voided: Vec<usize> = Vec::new();
+        let mut requeue: Vec<(FunctionId, RequestId)> = Vec::new();
+        let mut affected: Vec<FunctionId> = Vec::new();
+        for cid in victims {
+            self.attempts.remove(&cid);
+            if let Some(runs) = self.running.remove(&cid) {
+                for (rid, rec_idx) in runs {
+                    voided.push(rec_idx);
+                    let req = &mut self.requests[rid.0 as usize];
+                    req.started = None;
+                    req.class = None;
+                    requeue.push((req.func, rid));
+                }
+            }
+            self.busy_until.remove(&cid);
+            let (info, local_queued) = self.cluster.crash_evict(cid);
+            affected.push(info.func);
+            for rid in local_queued {
+                requeue.push((info.func, rid));
+            }
+            let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
+            self.policies.keepalive.on_evict(&info, &ctx);
+            // Deliberately no `on_cold_outcome` here: a crash says
+            // nothing about whether speculation was wasteful, unlike a
+            // provision failure or an idle eviction.
+        }
+        self.note_memory();
+        self.remove_records(voided);
+        // Re-queue in deterministic request order, never cold-only: any
+        // resource may serve a crash refugee.
+        requeue.sort_by_key(|&(_, rid)| rid);
+        for &(func, rid) in &requeue {
+            self.cluster
+                .fn_runtime_mut(func)
+                .pending
+                .push_back(PendingReq {
+                    req: rid,
+                    cold_only: false,
+                });
+        }
+        affected.extend(requeue.iter().map(|&(f, _)| f));
+        affected.sort_unstable();
+        affected.dedup();
+        // Repair provisioning for affected functions: cold-only waiters
+        // can only be served by a future ProvisionDone, and refugees may
+        // have nothing left to wait for. (Retry chains in backoff are not
+        // visible in `provisioning`, so this may over-provision — a
+        // progress-over-parsimony tradeoff on the failure path.)
+        for func in affected {
+            let Some(rt) = self.cluster.fn_runtime(func) else {
+                continue;
+            };
+            let pending = rt.pending.len();
+            let cold_only = rt.pending.iter().filter(|p| p.cold_only).count();
+            let provisioning = rt.provisioning.len();
+            let warm = rt.warm.len();
+            let mut need = cold_only.saturating_sub(provisioning);
+            if need == 0 && pending > 0 && warm == 0 && provisioning == 0 {
+                need = 1;
+            }
+            for _ in 0..need {
+                self.request_provision(func, false, 0);
+            }
+        }
+        self.retry_deferred();
+    }
+
+    /// Voids the given record indices (crash-killed executions) and
+    /// remaps the surviving in-flight records' indices.
+    fn remove_records(&mut self, mut voided: Vec<usize>) {
+        if voided.is_empty() {
+            return;
+        }
+        voided.sort_unstable();
+        let old = std::mem::take(&mut self.records);
+        let mut vi = 0;
+        for (i, r) in old.into_iter().enumerate() {
+            if vi < voided.len() && voided[vi] == i {
+                vi += 1;
+            } else {
+                self.records.push(r);
+            }
+        }
+        for runs in self.running.values_mut() {
+            for (_, idx) in runs.iter_mut() {
+                *idx -= voided.partition_point(|&v| v < *idx);
+            }
         }
     }
 
@@ -325,6 +540,14 @@ impl<'a> Simulation<'a> {
             exec,
             class,
         });
+        if self.fault_active {
+            // Track in-flight work so a worker crash can void the record
+            // and re-queue the request.
+            self.running
+                .entry(cid)
+                .or_default()
+                .push((rid, self.records.len() - 1));
+        }
 
         let info = self.requests[rid.0 as usize].info(rid);
         let cinfo = self
@@ -346,11 +569,13 @@ impl<'a> Simulation<'a> {
     }
 
     /// Provisions a container for `func`, evicting idle containers if
-    /// necessary, or defers when no worker can make room.
-    fn request_provision(&mut self, func: FunctionId, speculative: bool) {
+    /// necessary, or defers when no worker can make room. `attempt` is
+    /// the retry attempt carried through fault-injected failures (0 for
+    /// first tries).
+    fn request_provision(&mut self, func: FunctionId, speculative: bool, attempt: u32) {
         let mem = self.cluster.profile(func).mem_mb;
         let Some(worker) = self.cluster.pick_worker(mem) else {
-            self.deferred.push_back((func, speculative));
+            self.deferred.push_back((func, speculative, attempt));
             return;
         };
         // REPLACE (Algorithm 2): evict the lowest-priority idle containers
@@ -383,15 +608,15 @@ impl<'a> Simulation<'a> {
                 let Some((_, victim)) = victims.next() else {
                     // Raced with our own accounting: pick_worker said this
                     // fits, so there must be victims. Defensive fallback.
-                    self.deferred.push_back((func, speculative));
+                    self.deferred.push_back((func, speculative, attempt));
                     return;
                 };
                 evicted.push(self.evict_container(victim));
             }
-            return self.finish_admission(func, worker, speculative, evicted);
+            return self.finish_admission(func, worker, speculative, evicted, attempt);
         }
         let evicted = Vec::new();
-        self.finish_admission(func, worker, speculative, evicted);
+        self.finish_admission(func, worker, speculative, evicted, attempt);
     }
 
     /// Charges memory, registers the container, and fires admission
@@ -402,6 +627,7 @@ impl<'a> Simulation<'a> {
         worker: crate::ids::WorkerId,
         speculative: bool,
         evicted: Vec<crate::container::ContainerInfo>,
+        attempt: u32,
     ) {
         let cid = self
             .cluster
@@ -420,6 +646,24 @@ impl<'a> Simulation<'a> {
                 .provision_latency(func, &ctx)
                 .unwrap_or_else(|| self.cluster.profile(func).cold_start)
         };
+        if self.fault_active {
+            self.attempts.insert(cid, attempt);
+            if self.faults.provision_fails() {
+                // The failure surfaces only after the full provisioning
+                // latency was spent — like a real timed-out cold start.
+                self.events
+                    .push(self.now + cold, Event::ProvisionFailed(cid));
+                return;
+            }
+            let factor = self.faults.straggler_factor();
+            let cold = if factor > 1.0 {
+                cold.scale(factor)
+            } else {
+                cold
+            };
+            self.events.push(self.now + cold, Event::ProvisionDone(cid));
+            return;
+        }
         self.events.push(self.now + cold, Event::ProvisionDone(cid));
     }
 
@@ -461,13 +705,13 @@ impl<'a> Simulation<'a> {
     /// retry cost amortised O(1) per successful placement instead of
     /// rescanning the whole backlog on every event.
     fn retry_deferred(&mut self) {
-        while let Some(&(func, speculative)) = self.deferred.front() {
+        while let Some(&(func, speculative, attempt)) = self.deferred.front() {
             let mem = self.cluster.profile(func).mem_mb;
             if self.cluster.pick_worker(mem).is_none() {
                 break;
             }
             self.deferred.pop_front();
-            self.request_provision(func, speculative);
+            self.request_provision(func, speculative, attempt);
         }
     }
 

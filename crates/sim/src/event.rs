@@ -5,7 +5,9 @@ use std::collections::BinaryHeap;
 
 use faas_trace::TimePoint;
 
-use crate::ids::{ContainerId, RequestId};
+use faas_trace::FunctionId;
+
+use crate::ids::{ContainerId, RequestId, WorkerId};
 
 /// A simulator event. Ordering at equal timestamps follows insertion
 /// order, making runs fully deterministic.
@@ -19,6 +21,14 @@ pub enum Event {
     ExecDone(ContainerId, RequestId),
     /// Periodic policy tick (TTL expiration, prewarming).
     Tick,
+    /// A provision fails (fault injection), discovered after the full
+    /// cold-start latency.
+    ProvisionFailed(ContainerId),
+    /// A failed provision's backoff expires; retry attempt number
+    /// (1-based) for the function, preserving speculativeness.
+    RetryProvision(FunctionId, u32, bool),
+    /// A worker crashes (fault injection), evicting its containers.
+    WorkerDown(WorkerId),
 }
 
 /// Time-ordered event queue with deterministic FIFO tie-breaking.
@@ -47,6 +57,9 @@ enum EventKey {
     ProvisionDone(ContainerId),
     ExecDone(ContainerId, RequestId),
     Tick,
+    ProvisionFailed(ContainerId),
+    RetryProvision(FunctionId, u32, bool),
+    WorkerDown(WorkerId),
 }
 
 impl From<Event> for EventKey {
@@ -56,6 +69,9 @@ impl From<Event> for EventKey {
             Event::ProvisionDone(c) => EventKey::ProvisionDone(c),
             Event::ExecDone(c, r) => EventKey::ExecDone(c, r),
             Event::Tick => EventKey::Tick,
+            Event::ProvisionFailed(c) => EventKey::ProvisionFailed(c),
+            Event::RetryProvision(f, n, s) => EventKey::RetryProvision(f, n, s),
+            Event::WorkerDown(w) => EventKey::WorkerDown(w),
         }
     }
 }
@@ -67,6 +83,9 @@ impl From<EventKey> for Event {
             EventKey::ProvisionDone(c) => Event::ProvisionDone(c),
             EventKey::ExecDone(c, r) => Event::ExecDone(c, r),
             EventKey::Tick => Event::Tick,
+            EventKey::ProvisionFailed(c) => Event::ProvisionFailed(c),
+            EventKey::RetryProvision(f, n, s) => Event::RetryProvision(f, n, s),
+            EventKey::WorkerDown(w) => Event::WorkerDown(w),
         }
     }
 }

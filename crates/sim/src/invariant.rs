@@ -1,0 +1,104 @@
+//! Always-on structural invariants for the simulated cluster.
+//!
+//! Fault injection makes state transitions that are impossible in
+//! fault-free runs (force-removing busy containers, abandoning
+//! provisions, re-queueing in-flight requests), so the engine asserts
+//! these invariants after every event in debug builds, and the
+//! cross-crate integration tests assert them explicitly:
+//!
+//! * **Memory accounting** — every worker's charged memory equals the
+//!   sum of its hosted containers and never exceeds capacity; idle sets
+//!   hold exactly the fully idle containers.
+//! * **Request conservation** — every arrived request is in exactly one
+//!   place: started (it has a request record), waiting on a function
+//!   channel, or queued on a container. Crash re-queues void the
+//!   victim's record, so the identity holds through failures.
+
+use crate::cluster::ClusterState;
+
+/// Checks structural invariants of a simulation (or live runtime)
+/// snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use faas_sim::{ClusterState, InvariantChecker};
+///
+/// let cluster = ClusterState::new(&[1024], std::iter::empty(), 1);
+/// InvariantChecker::check(&cluster, 0, 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvariantChecker;
+
+impl InvariantChecker {
+    /// Validates cluster bookkeeping plus request conservation:
+    /// `arrived` requests must equal started (`started_records`) plus
+    /// waiting (function channels and container-local queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violated invariant (a bug in the engine, the live
+    /// runtime, or the cluster bookkeeping).
+    pub fn check(cluster: &ClusterState, arrived: u64, started_records: usize) {
+        cluster.validate();
+        let waiting = cluster.total_pending() + cluster.total_local_queued();
+        let accounted = started_records as u64 + waiting as u64;
+        assert_eq!(
+            arrived, accounted,
+            "request conservation violated: {arrived} arrived but {accounted} accounted \
+             ({started_records} started + {waiting} waiting)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::WorkerId;
+    use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
+
+    fn cluster() -> ClusterState {
+        let profiles = vec![FunctionProfile::new(
+            FunctionId(0),
+            "f",
+            100,
+            TimeDelta::from_millis(100),
+        )];
+        ClusterState::new(&[1000], profiles, 1)
+    }
+
+    #[test]
+    fn clean_cluster_passes() {
+        let mut cl = cluster();
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        InvariantChecker::check(&cl, 0, 0);
+        cl.finish_provision(id, TimePoint::ZERO);
+        InvariantChecker::check(&cl, 0, 0);
+        cl.occupy_thread(id, TimePoint::ZERO);
+        InvariantChecker::check(&cl, 1, 1);
+    }
+
+    #[test]
+    fn crash_evict_keeps_memory_accounting() {
+        let mut cl = cluster();
+        let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+        cl.finish_provision(id, TimePoint::ZERO);
+        cl.occupy_thread(id, TimePoint::ZERO);
+        cl.mark_worker_down(WorkerId(0));
+        let (info, queued) = cl.crash_evict(id);
+        assert_eq!(info.id, id);
+        assert!(queued.is_empty());
+        assert_eq!(cl.used_mb(), 0);
+        assert_eq!(cl.crash_evictions, 1);
+        // The killed request was re-queued by the engine, so it counts
+        // as waiting, not started.
+        InvariantChecker::check(&cl, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "request conservation violated")]
+    fn lost_request_detected() {
+        let cl = cluster();
+        InvariantChecker::check(&cl, 1, 0);
+    }
+}

@@ -35,7 +35,9 @@ mod config;
 mod container;
 mod engine;
 mod event;
+mod fault;
 mod ids;
+mod invariant;
 mod policy;
 mod report;
 mod request;
@@ -45,7 +47,9 @@ pub use config::{Placement, SimConfig};
 pub use container::{Container, ContainerInfo, ContainerState};
 pub use engine::run;
 pub use event::{Event, EventQueue};
+pub use fault::{FaultPlan, FaultState};
 pub use ids::{ContainerId, RequestId, WorkerId};
+pub use invariant::InvariantChecker;
 pub use policy::{AlwaysCold, KeepAlive, PolicyStack, Prewarm, ScaleDecision, Scaler, StartClass};
 pub use report::{RequestRecord, SimReport};
 pub use request::{RequestInfo, RequestState};

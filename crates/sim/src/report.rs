@@ -53,6 +53,10 @@ pub struct SimReport {
     pub containers_evicted: u64,
     /// Speculative containers evicted without serving any request.
     pub wasted_cold_starts: u64,
+    /// Provisions that failed (fault injection) and were retried.
+    pub provision_failures: u64,
+    /// Containers destroyed by worker crashes (fault injection).
+    pub crash_evictions: u64,
     /// Simulated completion time of the last request.
     pub finished_at: TimePoint,
 }

@@ -1,0 +1,216 @@
+//! Mechanics of the fault-injection subsystem: provision failures with
+//! retry/backoff, worker crashes with re-execution, straggler cold
+//! starts, and the deferred-provision retry path under memory pressure
+//! combined with faults. Debug builds additionally assert the engine's
+//! structural invariants after every event, so each of these runs also
+//! exercises `InvariantChecker`.
+
+use faas_sim::{baseline_lru_stack, run, FaultPlan, SimConfig, StartClass, WorkerId};
+use faas_trace::{FunctionId, FunctionProfile, Invocation, TimeDelta, TimePoint, Trace};
+
+fn one_fn_trace(arrivals_ms: &[u64], exec_ms: u64, cold_ms: u64, mem: u32) -> Trace {
+    let f = FunctionProfile::new(FunctionId(0), "f", mem, TimeDelta::from_millis(cold_ms));
+    let invs = arrivals_ms
+        .iter()
+        .map(|&ms| Invocation {
+            func: FunctionId(0),
+            arrival: TimePoint::from_millis(ms),
+            exec: TimeDelta::from_millis(exec_ms),
+        })
+        .collect();
+    Trace::new(vec![f], invs).expect("valid")
+}
+
+#[test]
+fn provision_failures_retry_until_success() {
+    // One request, high failure rate: the provision fails some number of
+    // times, backs off, and eventually succeeds (p < 1 guarantees
+    // termination almost surely; this seed terminates quickly).
+    let trace = one_fn_trace(&[0], 50, 100, 128);
+    let config = SimConfig::default().workers_mb(vec![1024]).faults(
+        FaultPlan::none()
+            .seed(3)
+            .provision_failures(0.8)
+            .retry_backoff(TimeDelta::from_millis(10), TimeDelta::from_millis(80)),
+    );
+    let report = run(&trace, &config, baseline_lru_stack());
+    assert_eq!(report.requests.len(), 1);
+    assert_eq!(report.requests[0].class, StartClass::Cold);
+    assert!(
+        report.provision_failures > 0,
+        "seed 3 at p=0.8 must fail at least once"
+    );
+    // Each failure burns the full cold start plus backoff before the
+    // next attempt, so the wait exceeds a single cold start.
+    assert!(
+        report.requests[0].wait > TimeDelta::from_millis(100),
+        "wait {:?} should include failed attempts",
+        report.requests[0].wait
+    );
+    // created = failures + the one success.
+    assert_eq!(report.containers_created, report.provision_failures + 1);
+}
+
+#[test]
+fn straggler_stretches_cold_start() {
+    let trace = one_fn_trace(&[0], 50, 100, 128);
+    let config = SimConfig::default()
+        .workers_mb(vec![1024])
+        .faults(FaultPlan::none().seed(1).stragglers(0.99, 1.5, 20.0));
+    let report = run(&trace, &config, baseline_lru_stack());
+    assert_eq!(report.requests.len(), 1);
+    assert_eq!(report.provision_failures, 0);
+    // p = 0.99: this seed stretches the single cold start.
+    assert!(
+        report.requests[0].wait > TimeDelta::from_millis(100),
+        "wait {:?} not stretched",
+        report.requests[0].wait
+    );
+    // The stretch factor is capped at 20x.
+    assert!(report.requests[0].wait <= TimeDelta::from_millis(2_000));
+}
+
+#[test]
+fn worker_crash_reexecutes_inflight_request() {
+    // Two workers; the request runs on worker 0 (ties break to the
+    // lowest id) when its worker crashes mid-execution at t = 1 s. It is
+    // re-queued, re-provisioned on worker 1, and re-executed.
+    let trace = one_fn_trace(&[0], 10_000, 100, 128);
+    let config = SimConfig::default()
+        .workers_mb(vec![1024, 1024])
+        .faults(FaultPlan::none().crash_worker(TimePoint::from_secs(1), WorkerId(0)));
+    let report = run(&trace, &config, baseline_lru_stack());
+    assert_eq!(
+        report.requests.len(),
+        1,
+        "exactly one (re-)execution recorded"
+    );
+    assert_eq!(report.crash_evictions, 1);
+    assert_eq!(report.containers_created, 2);
+    let r = &report.requests[0];
+    assert_eq!(r.class, StartClass::Cold);
+    // Arrived at 0, crashed at 1000 ms, re-provisioned for 100 ms.
+    assert_eq!(r.wait, TimeDelta::from_millis(1_100));
+    assert_eq!(report.finished_at, TimePoint::from_millis(11_100));
+}
+
+#[test]
+fn crash_of_idle_worker_only_drops_containers() {
+    // The request finishes at t = 150 ms; the crash at t = 10 s evicts
+    // the idle container but re-executes nothing.
+    let trace = one_fn_trace(&[0], 50, 100, 128);
+    let config = SimConfig::default()
+        .workers_mb(vec![1024, 1024])
+        .faults(FaultPlan::none().crash_worker(TimePoint::from_secs(10), WorkerId(0)));
+    let report = run(&trace, &config, baseline_lru_stack());
+    assert_eq!(report.requests.len(), 1);
+    assert_eq!(report.requests[0].wait, TimeDelta::from_millis(100));
+    assert_eq!(report.crash_evictions, 1);
+    assert_eq!(report.containers_created, 1);
+}
+
+#[test]
+fn deferred_retry_under_memory_pressure_and_faults() {
+    // The worker fits exactly one 600 MB container, so every second
+    // function's provision is deferred behind the first; provision
+    // failures and a mid-run crash stress retry_deferred's FIFO
+    // head-blocking drain. Every request must still complete.
+    let f0 = FunctionProfile::new(FunctionId(0), "a", 600, TimeDelta::from_millis(100));
+    let f1 = FunctionProfile::new(FunctionId(1), "b", 600, TimeDelta::from_millis(100));
+    let mut invs = Vec::new();
+    for i in 0..10u64 {
+        invs.push(Invocation {
+            func: FunctionId((i % 2) as u32),
+            arrival: TimePoint::from_millis(i * 40),
+            exec: TimeDelta::from_millis(120),
+        });
+    }
+    let trace = Trace::new(vec![f0, f1], invs).expect("valid");
+    let config = SimConfig::default().workers_mb(vec![1000, 1000]).faults(
+        FaultPlan::none()
+            .seed(11)
+            .provision_failures(0.3)
+            .retry_backoff(TimeDelta::from_millis(20), TimeDelta::from_millis(160))
+            .crash_worker(TimePoint::from_millis(500), WorkerId(0)),
+    );
+    let report = run(&trace, &config, baseline_lru_stack());
+    // Conservation: every arrival is eventually served exactly once.
+    assert_eq!(report.requests.len(), trace.len());
+    assert!(report.crash_evictions >= 1);
+}
+
+#[test]
+fn deferred_retry_without_faults_still_drains_fifo() {
+    // Memory-pressure-only coverage of retry_deferred: three functions
+    // compete for a single slot; deferred provisions drain in FIFO order
+    // as each predecessor's container is evicted.
+    let profiles: Vec<FunctionProfile> = (0..3)
+        .map(|i| {
+            FunctionProfile::new(
+                FunctionId(i),
+                format!("f{i}"),
+                600,
+                TimeDelta::from_millis(50),
+            )
+        })
+        .collect();
+    let invs: Vec<Invocation> = (0..3u64)
+        .map(|i| Invocation {
+            func: FunctionId(i as u32),
+            arrival: TimePoint::from_millis(i), // nearly concurrent
+            exec: TimeDelta::from_millis(30),
+        })
+        .collect();
+    let trace = Trace::new(profiles, invs).expect("valid");
+    let config = SimConfig::default().workers_mb(vec![1000]);
+    let report = run(&trace, &config, baseline_lru_stack());
+    assert_eq!(report.requests.len(), 3);
+    // FIFO drain: requests finish in arrival order of their functions.
+    let mut waits: Vec<TimeDelta> = report.requests.iter().map(|r| r.wait).collect();
+    let sorted = {
+        let mut s = waits.clone();
+        s.sort();
+        s
+    };
+    waits.sort();
+    assert_eq!(waits, sorted);
+    assert_eq!(report.containers_evicted, 2);
+}
+
+#[test]
+fn faulty_runs_are_deterministic() {
+    let trace = faas_trace::gen::azure(5).functions(8).minutes(1).build();
+    let config = SimConfig::default().workers_mb(vec![2048, 2048]).faults(
+        FaultPlan::none()
+            .seed(9)
+            .provision_failures(0.2)
+            .stragglers(0.1, 1.5, 20.0)
+            .crash_worker(TimePoint::from_secs(20), WorkerId(0)),
+    );
+    let a = run(&trace, &config, baseline_lru_stack());
+    let b = run(&trace, &config, baseline_lru_stack());
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    // A different fault seed must actually change something.
+    let other = SimConfig::default().workers_mb(vec![2048, 2048]).faults(
+        FaultPlan::none()
+            .seed(10)
+            .provision_failures(0.2)
+            .stragglers(0.1, 1.5, 20.0)
+            .crash_worker(TimePoint::from_secs(20), WorkerId(0)),
+    );
+    let c = run(&trace, &other, baseline_lru_stack());
+    assert_ne!(
+        format!("{a:?}"),
+        format!("{c:?}"),
+        "fault seed must steer the run"
+    );
+}
+
+#[test]
+fn none_plan_reports_zero_fault_counters() {
+    let trace = one_fn_trace(&[0, 500, 1_000], 50, 100, 128);
+    let config = SimConfig::default().workers_mb(vec![1024]);
+    let report = run(&trace, &config, baseline_lru_stack());
+    assert_eq!(report.provision_failures, 0);
+    assert_eq!(report.crash_evictions, 0);
+}

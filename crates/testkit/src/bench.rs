@@ -103,12 +103,12 @@ impl Harness {
     /// Reads CLI args so `cargo bench <substring>` filters benchmarks,
     /// and honors `BENCH_SMOKE`.
     pub fn new(target: &str) -> Self {
-        let smoke = std::env::var("BENCH_SMOKE").map(|v| v != "0").unwrap_or(false);
+        let smoke = std::env::var("BENCH_SMOKE")
+            .map(|v| v != "0")
+            .unwrap_or(false);
         // cargo passes `--bench` (and test-harness flags); the first
         // non-flag argument is a name filter.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Self {
             target: target.to_string(),
             results: Vec::new(),
@@ -243,11 +243,42 @@ impl Harness {
                 }
             }
         }
-        match std::fs::write(&path, doc.pretty()) {
+        match atomic_write(&path, &doc.pretty()) {
             Ok(()) => println!("{}: results merged into {}", self.target, path.display()),
             Err(e) => eprintln!("{}: cannot write {}: {e}", self.target, path.display()),
         }
     }
+}
+
+/// Writes `contents` to `path` atomically: the data goes to a unique
+/// temporary file in the same directory (same filesystem, so the rename
+/// cannot cross devices) which is then renamed over the target. Readers
+/// and concurrent/interrupted writers therefore always observe either
+/// the old complete file or the new complete file, never a torn mix —
+/// the `BENCH_results.json` merge is a read-modify-write cycle per bench
+/// target, and a plain `fs::write` could be interrupted mid-stream.
+pub fn atomic_write(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let tmp_name = format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    let write_and_rename = (|| {
+        std::fs::write(&tmp, contents)?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write_and_rename.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write_and_rename
 }
 
 /// Where `BENCH_results.json` lives: `BENCH_OUT` if set, else the
@@ -343,7 +374,10 @@ mod tests {
             let b = &benches.as_arr().unwrap()[0];
             let median = b.get("median_ns").unwrap().as_f64().unwrap();
             let p95 = b.get("p95_ns").unwrap().as_f64().unwrap();
-            assert!(median > 0.0 && p95 >= median, "{t}: median {median} p95 {p95}");
+            assert!(
+                median > 0.0 && p95 >= median,
+                "{t}: median {median} p95 {p95}"
+            );
         }
         assert!(targets
             .get("alpha")
@@ -385,6 +419,34 @@ mod tests {
         assert!(s.median_ns <= s.p95_ns);
         assert!(s.p95_ns <= s.max_ns);
         assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("testkit-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("results.json");
+        atomic_write(&out, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "first");
+        atomic_write(&out, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "second");
+        // No temp-file droppings left next to the target.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_rejects_directoryless_target() {
+        let err = atomic_write(std::path::Path::new("/"), "x");
+        assert!(err.is_err());
     }
 
     #[test]

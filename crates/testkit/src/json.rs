@@ -374,7 +374,10 @@ mod tests {
     #[test]
     fn parses_hand_written_json() {
         let v = Value::parse(r#"{"a": [1, 2.5, -3e2], "b": "x\ny", "c": null}"#).unwrap();
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
         assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
         assert_eq!(v.get("c"), Some(&Value::Null));
     }

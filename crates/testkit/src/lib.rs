@@ -36,7 +36,7 @@ pub mod par;
 pub mod prop;
 pub mod rng;
 
-pub use bench::Harness;
+pub use bench::{atomic_write, Harness};
 pub use par::{default_jobs, par_map};
 pub use prop::{Checker, Gen};
 pub use rng::Rng;

@@ -139,7 +139,7 @@ impl Checker {
         let base_seed = std::env::var("TESTKIT_SEED")
             .ok()
             .and_then(|s| parse_seed(&s))
-            .unwrap_or(0x1DEA_5EED_0F00_D5u64);
+            .unwrap_or(0x001D_EA5E_ED0F_00D5_u64);
         let cases = std::env::var("TESTKIT_CASES")
             .ok()
             .and_then(|s| s.parse().ok())
@@ -386,7 +386,10 @@ mod tests {
         }));
         let v = *last.lock().unwrap();
         assert!(v >= 100, "shrunk input must still fail");
-        assert!(v < 1 << 20, "shrinking should simplify far below 2^40, got {v}");
+        assert!(
+            v < 1 << 20,
+            "shrinking should simplify far below 2^40, got {v}"
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ fn iat_scaling_scales_duration() {
         let scaled = transform::scale_iat(&trace, factor);
         let expected = trace.duration().as_micros() as f64 * factor;
         let got = scaled.duration().as_micros() as f64;
-        assert!((got - expected).abs() <= 1.0, "expected {expected}, got {got}");
+        assert!(
+            (got - expected).abs() <= 1.0,
+            "expected {expected}, got {got}"
+        );
     });
 }
 

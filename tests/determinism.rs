@@ -6,8 +6,8 @@
 
 use cidre::core::{cidre_bss_stack, cidre_stack, CidreConfig};
 use cidre::policies::{faascache_stack, lru_stack, ttl_stack};
-use cidre::sim::{run, PolicyStack, SimConfig, SimReport};
-use cidre::trace::gen;
+use cidre::sim::{run, FaultPlan, PolicyStack, SimConfig, SimReport, WorkerId};
+use cidre::trace::{gen, TimeDelta, TimePoint};
 
 fn stacks() -> Vec<(&'static str, fn() -> PolicyStack)> {
     vec![
@@ -43,6 +43,53 @@ fn different_seeds_actually_differ() {
     let a = format!("{:?}", report_for(1, faascache_stack));
     let b = format!("{:?}", report_for(2, faascache_stack));
     assert_ne!(a, b);
+}
+
+#[test]
+fn explicit_none_plan_matches_default_config() {
+    // `FaultPlan::none()` draws zero random numbers and schedules zero
+    // events, so a config carrying it is byte-identical to the plain
+    // default — fault-free runs take the exact pre-fault code path.
+    let trace = gen::azure(42).functions(15).minutes(2).build();
+    let plain = SimConfig::default().workers_mb(vec![3_072]);
+    let explicit = SimConfig::default()
+        .workers_mb(vec![3_072])
+        .faults(FaultPlan::none());
+    let a = run(&trace, &plain, cidre_stack(CidreConfig::default()));
+    let b = run(&trace, &explicit, cidre_stack(CidreConfig::default()));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(a.provision_failures, 0);
+    assert_eq!(a.crash_evictions, 0);
+}
+
+fn faulty_config(fault_seed: u64) -> SimConfig {
+    SimConfig::default().workers_mb(vec![2_048, 2_048]).faults(
+        FaultPlan::none()
+            .seed(fault_seed)
+            .provision_failures(0.2)
+            .stragglers(0.1, 1.5, 20.0)
+            .retry_backoff(TimeDelta::from_millis(50), TimeDelta::from_secs(2))
+            .crash_worker(TimePoint::from_secs(30), WorkerId(0)),
+    )
+}
+
+#[test]
+fn same_seed_same_fault_plan_byte_identical_report() {
+    let trace = gen::azure(7).functions(15).minutes(2).build();
+    let config = faulty_config(9);
+    for (label, make_stack) in stacks() {
+        let a = format!("{:?}", run(&trace, &config, make_stack()));
+        let b = format!("{:?}", run(&trace, &config, make_stack()));
+        assert_eq!(a, b, "{label} diverged under fault injection");
+    }
+}
+
+#[test]
+fn different_fault_seeds_actually_differ() {
+    let trace = gen::azure(7).functions(15).minutes(2).build();
+    let a = format!("{:?}", run(&trace, &faulty_config(9), faascache_stack()));
+    let b = format!("{:?}", run(&trace, &faulty_config(10), faascache_stack()));
+    assert_ne!(a, b, "the fault seed must steer the run");
 }
 
 #[test]

@@ -78,7 +78,10 @@ fn assert_simulator_invariants(trace: &Trace) {
             assert!(peak <= 4_096.0 + 1e-9, "{label}: peak {peak}");
         }
         // Bookkeeping sanity.
-        assert!(report.containers_evicted <= report.containers_created, "{label}");
+        assert!(
+            report.containers_evicted <= report.containers_created,
+            "{label}"
+        );
     }
 }
 
@@ -228,7 +231,10 @@ fn sliding_window_matches_naive_median() {
             Some(m) => {
                 assert!(!naive.is_empty());
                 let expected = cidre::metrics::median(&naive);
-                assert!((m - expected).abs() < 1e-9, "window {m} vs naive {expected}");
+                assert!(
+                    (m - expected).abs() < 1e-9,
+                    "window {m} vs naive {expected}"
+                );
             }
             None => assert!(naive.is_empty()),
         }
@@ -257,6 +263,9 @@ fn trace_transforms_preserve_length() {
         use cidre::trace::transform;
         assert_eq!(transform::scale_iat(&trace, factor).len(), trace.len());
         assert_eq!(transform::scale_exec(&trace, factor).len(), trace.len());
-        assert_eq!(transform::scale_cold_start(&trace, factor).len(), trace.len());
+        assert_eq!(
+            transform::scale_cold_start(&trace, factor).len(),
+            trace.len()
+        );
     });
 }
