@@ -22,8 +22,20 @@ echo "== tier 1: tests (offline) =="
 cargo test -q --offline
 
 echo "== bench smoke (offline) =="
-# Seconds-long pass over all four bench targets; merges median/p95
-# stats into BENCH_results.json and proves the harness end-to-end.
+# Seconds-long pass over all bench targets; merges median/p95 stats
+# into BENCH_results.json and proves the harness end-to-end. The
+# committed file is snapshotted first so bench_guard can compare the
+# fresh numbers against the pre-run baseline.
+baseline="$(mktemp)"
+trap 'rm -f "$baseline"' EXIT
+cp BENCH_results.json "$baseline"
 BENCH_SMOKE=1 cargo bench --offline
+
+echo "== bench guard: large-N throughput =="
+# Fails on a >20% events/sec regression of replay/large_n vs the
+# committed baseline, or if the indexed scan drops below 2x the
+# retained reference scan.
+cargo run -q --release --offline -p cidre-bench --bin bench_guard -- \
+  "$baseline" BENCH_results.json
 
 echo "== ci.sh: all green =="

@@ -1,0 +1,113 @@
+//! CI throughput gate over `BENCH_results.json`.
+//!
+//! Usage: `bench_guard <baseline.json> <current.json>`
+//!
+//! Fails (exit 1) when either:
+//!
+//! * the large-N simulator throughput (`sim_throughput` /
+//!   `replay/large_n`, events per second) regressed more than 20%
+//!   against the committed baseline, or
+//! * the indexed scan is no longer at least 2x the retained reference
+//!   scan (`replay/large_n_reference`) within the current run — the
+//!   speedup the indexed hot paths exist to provide.
+//!
+//! Both files use the testkit harness schema; comparisons are on
+//! `throughput_elems_per_sec`, which is scenario-invariant between
+//! smoke and full bench modes (identical workload, fewer samples).
+
+use std::process::ExitCode;
+
+use faas_testkit::json::Value;
+
+/// Maximum tolerated relative throughput regression vs the baseline.
+const MAX_REGRESSION: f64 = 0.20;
+
+/// Minimum required indexed-over-reference speedup.
+const MIN_SPEEDUP: f64 = 2.0;
+
+/// Extracts `throughput_elems_per_sec` for `bench` under `target`.
+fn throughput(doc: &Value, target: &str, bench: &str) -> Option<f64> {
+    doc.get("targets")?
+        .get(target)?
+        .get("benches")?
+        .as_arr()?
+        .iter()
+        .find(|b| b.get("name").and_then(Value::as_str) == Some(bench))?
+        .get("throughput_elems_per_sec")?
+        .as_f64()
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_guard <baseline.json> <current.json>");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_guard: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(cur) = throughput(&current, "sim_throughput", "replay/large_n") else {
+        eprintln!("bench_guard: current run lacks sim_throughput/replay/large_n");
+        return ExitCode::FAILURE;
+    };
+    let mut ok = true;
+
+    // Gate 1: no >20% regression against the committed baseline.
+    match throughput(&baseline, "sim_throughput", "replay/large_n") {
+        Some(base) => {
+            let floor = base * (1.0 - MAX_REGRESSION);
+            if cur < floor {
+                eprintln!(
+                    "bench_guard: replay/large_n regressed: {cur:.0} elems/s < \
+                     {floor:.0} (baseline {base:.0} - {:.0}%)",
+                    MAX_REGRESSION * 100.0
+                );
+                ok = false;
+            } else {
+                println!("bench_guard: replay/large_n {cur:.0} elems/s vs baseline {base:.0} (ok)");
+            }
+        }
+        None => {
+            // First run ever: nothing to regress against.
+            println!("bench_guard: no baseline for replay/large_n; skipping regression gate");
+        }
+    }
+
+    // Gate 2: the indexed scan must stay >= 2x the reference scan.
+    match throughput(&current, "sim_throughput", "replay/large_n_reference") {
+        Some(reference) if reference > 0.0 => {
+            let speedup = cur / reference;
+            if speedup < MIN_SPEEDUP {
+                eprintln!(
+                    "bench_guard: indexed speedup {speedup:.2}x < {MIN_SPEEDUP}x \
+                     (indexed {cur:.0} vs reference {reference:.0} elems/s)"
+                );
+                ok = false;
+            } else {
+                println!("bench_guard: indexed speedup {speedup:.2}x over reference (ok)");
+            }
+        }
+        _ => {
+            eprintln!("bench_guard: current run lacks sim_throughput/replay/large_n_reference");
+            ok = false;
+        }
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

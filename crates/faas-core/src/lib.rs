@@ -1,0 +1,30 @@
+//! Indexed pool data structures shared by the FaaS simulator and the live
+//! orchestrator.
+//!
+//! This crate holds the hot-path structures that replace the naive linear
+//! scans in `faas-sim` and `faas-live`:
+//!
+//! * [`pool::PendingQueue`] — a FIFO of pending requests that supports an
+//!   O(1) "pop the first request that is not cold-only" alongside plain
+//!   FIFO pops.
+//! * [`pool::FreeThreadPool`] — per-function set of containers with free
+//!   threads, ordered so the "most-loaded non-saturated container, oldest
+//!   id wins ties" pick is O(log n).
+//! * [`pool::WorkerFreeList`] — workers ordered by free (and reclaimable)
+//!   memory for O(log n) `MaxFree` placement.
+//! * [`pool::EvictionIndex`] — a lazy-deletion binary min-heap of eviction
+//!   candidates with per-entry versions, so a memory-pressure round is
+//!   O(victims · log n) instead of a full recompute-and-sort.
+//! * [`pool::OrdF64`] — a total order over non-NaN `f64` priorities.
+//!
+//! The structures are generic over the id types so both substrates (the
+//! discrete-event simulator and the wall-clock live runtime) share one
+//! implementation and can be differentially tested against the retained
+//! reference scans.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::{EvictionIndex, FreeThreadPool, OrdF64, PendingQueue, RoundHeap, WorkerFreeList};

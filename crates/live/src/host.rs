@@ -44,10 +44,11 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use faas_core::{EvictionIndex, RoundHeap};
 use faas_metrics::TimeSeries;
 use faas_sim::{
-    ClusterState, ContainerId, ContainerInfo, PendingReq, PolicyCtx, PolicyStack, RequestId,
-    RequestRecord, ScaleDecision, SimReport, StartClass,
+    ClusterState, ContainerId, ContainerInfo, PolicyCtx, PolicyStack, PriorityDeps, RequestId,
+    RequestRecord, ScaleDecision, ScanMode, SimReport, StartClass, WorkerId,
 };
 use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
 
@@ -177,6 +178,12 @@ struct Orchestrator {
     finished_at: TimePoint,
     shutdown_reply: Option<mpsc::Sender<SimReport>>,
     last_memory_us: u64,
+    /// Per-worker lazy-deletion heap of eviction candidates, kept warm
+    /// across REPLACE rounds when `use_evict_index` is set.
+    evict_index: EvictionIndex<WorkerId, ContainerId>,
+    /// Whether cached priorities in `evict_index` are sound for the
+    /// configured keep-alive policy (see [`PriorityDeps`]).
+    use_evict_index: bool,
 }
 
 impl Orchestrator {
@@ -205,12 +212,15 @@ impl Orchestrator {
             );
             profiles.push(profile);
         }
-        let cluster = ClusterState::with_placement(
+        let mut cluster = ClusterState::with_placement(
             &config.sim.workers_mb,
             profiles,
             config.sim.threads,
             config.sim.placement,
         );
+        cluster.set_scan(config.sim.scan);
+        let use_evict_index = config.sim.scan == ScanMode::Indexed
+            && policies.keepalive.priority_deps() != PriorityDeps::Volatile;
         let timer = Timer::spawn(self_tx.clone());
         let start = Instant::now();
         timer.schedule(start + scale(config.sim.tick, config.time_scale), Msg::Tick);
@@ -234,6 +244,8 @@ impl Orchestrator {
             finished_at: TimePoint::ZERO,
             shutdown_reply: None,
             last_memory_us: 0,
+            evict_index: EvictionIndex::new(),
+            use_evict_index,
         }
     }
 
@@ -333,32 +345,14 @@ impl Orchestrator {
         }
         match decision {
             ScaleDecision::ColdStart => {
-                self.cluster
-                    .fn_runtime_mut(func)
-                    .pending
-                    .push_back(PendingReq {
-                        req: rid,
-                        cold_only: true,
-                    });
+                self.cluster.fn_runtime_mut(func).pending.push(rid, true);
                 self.request_provision(func, false, now);
             }
             ScaleDecision::WaitWarm => {
-                self.cluster
-                    .fn_runtime_mut(func)
-                    .pending
-                    .push_back(PendingReq {
-                        req: rid,
-                        cold_only: false,
-                    });
+                self.cluster.fn_runtime_mut(func).pending.push(rid, false);
             }
             ScaleDecision::Race => {
-                self.cluster
-                    .fn_runtime_mut(func)
-                    .pending
-                    .push_back(PendingReq {
-                        req: rid,
-                        cold_only: false,
-                    });
+                self.cluster.fn_runtime_mut(func).pending.push(rid, false);
                 self.request_provision(func, true, now);
             }
             ScaleDecision::EnqueueOn(cid) => {
@@ -374,6 +368,7 @@ impl Orchestrator {
         if let Some(rid) = self.pop_pending(func, true) {
             self.start_exec(cid, rid, StartClass::Cold, now);
         } else {
+            self.index_candidate(cid, now);
             self.retry_deferred(now);
         }
     }
@@ -427,6 +422,7 @@ impl Orchestrator {
             self.start_exec(cid, next, StartClass::DelayedWarm, now);
             return;
         }
+        self.index_candidate(cid, now);
         self.retry_deferred(now);
     }
 
@@ -474,6 +470,7 @@ impl Orchestrator {
             (c.speculative_unused, c.warm_at)
         };
         self.cluster.occupy_thread(cid, now);
+        self.evict_index.leave(cid);
         self.running += 1;
         let flight = self.inflight.get(&rid).expect("in-flight request");
         let (func, arrival, payload) = (flight.func, flight.arrival, flight.payload.clone());
@@ -524,26 +521,66 @@ impl Orchestrator {
         };
         let mut evicted = Vec::new();
         if self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
-            let mut candidates: Vec<(f64, ContainerId)> = {
-                let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
-                let ka = &self.policies.keepalive;
-                self.cluster.workers()[worker.0 as usize]
-                    .idle
-                    .iter()
-                    .map(|&cid| {
-                        let cinfo = ctx.container(cid).expect("idle containers are live");
-                        (ka.priority(&cinfo, &ctx), cid)
-                    })
-                    .collect()
-            };
-            candidates.sort_by(|a, b| a.partial_cmp(b).expect("priorities must not be NaN"));
-            let mut victims = candidates.into_iter();
-            while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
-                let Some((_, victim)) = victims.next() else {
-                    self.deferred.push_back((func, speculative));
-                    return;
+            // REPLACE mirror of the trace-replay runtime (see
+            // `crate::runtime`): cached cross-round heap when priorities
+            // allow it, otherwise a per-round snapshot of the idle set.
+            if self.use_evict_index {
+                while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                    let popped = {
+                        let cluster = &self.cluster;
+                        let busy = &self.busy_until;
+                        let ka = &self.policies.keepalive;
+                        let ctx = PolicyCtx::new(now, cluster, busy);
+                        self.evict_index.pop_min(worker, |cid| {
+                            let c = cluster.container(cid)?;
+                            if !c.is_idle() {
+                                return None;
+                            }
+                            Some(ka.priority(&ContainerInfo::from(c), &ctx))
+                        })
+                    };
+                    let Some((_, victim)) = popped else {
+                        self.deferred.push_back((func, speculative));
+                        return;
+                    };
+                    evicted.push(self.evict_container(victim, now));
+                }
+            } else {
+                let candidates: Vec<(f64, ContainerId)> = {
+                    let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+                    let ka = &self.policies.keepalive;
+                    self.cluster.workers()[worker.0 as usize]
+                        .idle
+                        .iter()
+                        .map(|&cid| {
+                            let cinfo = ctx.container(cid).expect("idle containers are live");
+                            (ka.priority(&cinfo, &ctx), cid)
+                        })
+                        .collect()
                 };
-                evicted.push(self.evict_container(victim, now));
+                match self.cluster.scan() {
+                    ScanMode::Indexed => {
+                        let mut heap = RoundHeap::from_entries(candidates);
+                        while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                            let Some((_, victim)) = heap.pop() else {
+                                self.deferred.push_back((func, speculative));
+                                return;
+                            };
+                            evicted.push(self.evict_container(victim, now));
+                        }
+                    }
+                    ScanMode::Reference => {
+                        let sorted = faas_sim::reference::sorted_eviction_candidates(candidates);
+                        let mut victims = sorted.into_iter();
+                        while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                            let Some((_, victim)) = victims.next() else {
+                                self.deferred.push_back((func, speculative));
+                                return;
+                            };
+                            evicted.push(self.evict_container(victim, now));
+                        }
+                    }
+                }
             }
         }
         let cid = self.cluster.begin_provision(func, worker, now, speculative);
@@ -569,6 +606,7 @@ impl Orchestrator {
             .container(cid)
             .map(|c| c.speculative_unused)
             .unwrap_or(false);
+        self.evict_index.leave(cid);
         let info = self.cluster.evict(cid);
         self.note_memory(now);
         let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
@@ -579,13 +617,35 @@ impl Orchestrator {
         info
     }
 
+    /// Enters `cid` into the eviction index if it just became idle,
+    /// caching its current priority. No-op unless cross-round caching
+    /// is enabled.
+    fn index_candidate(&mut self, cid: ContainerId, now: TimePoint) {
+        if !self.use_evict_index {
+            return;
+        }
+        let Some(c) = self.cluster.container(cid) else {
+            return;
+        };
+        if !c.is_idle() {
+            return;
+        }
+        let worker = c.worker;
+        let priority = {
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            self.policies
+                .keepalive
+                .priority(&ContainerInfo::from(c), &ctx)
+        };
+        self.evict_index.enter(worker, cid, priority);
+    }
+
     fn pop_pending(&mut self, func: FunctionId, any: bool) -> Option<RequestId> {
         let rt = self.cluster.fn_runtime_mut(func);
         if any {
-            rt.pending.pop_front().map(|p| p.req)
+            rt.pending.pop_any().map(|(rid, _)| rid)
         } else {
-            let idx = rt.pending.iter().position(|p| !p.cold_only)?;
-            rt.pending.remove(idx).map(|p| p.req)
+            rt.pending.pop_flexible()
         }
     }
 

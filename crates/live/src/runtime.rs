@@ -5,10 +5,11 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+use faas_core::{EvictionIndex, RoundHeap};
 use faas_metrics::TimeSeries;
 use faas_sim::{
-    ClusterState, ContainerId, ContainerInfo, FaultState, PendingReq, PolicyCtx, PolicyStack,
-    RequestId, RequestRecord, ScaleDecision, SimConfig, SimReport, StartClass, WorkerId,
+    ClusterState, ContainerId, ContainerInfo, FaultState, PolicyCtx, PolicyStack, PriorityDeps,
+    RequestId, RequestRecord, ScaleDecision, ScanMode, SimConfig, SimReport, StartClass, WorkerId,
 };
 use faas_trace::{FunctionId, TimeDelta, TimePoint, Trace};
 
@@ -107,6 +108,12 @@ struct Runtime<'a> {
     running: HashMap<ContainerId, Vec<(RequestId, usize)>>,
     /// Arrival messages processed (request-conservation invariant).
     arrived: u64,
+    /// Per-worker lazy-deletion heap of eviction candidates, kept warm
+    /// across REPLACE rounds when `use_evict_index` is set.
+    evict_index: EvictionIndex<WorkerId, ContainerId>,
+    /// Whether cached priorities in `evict_index` are sound for the
+    /// configured keep-alive policy (see [`PriorityDeps`]).
+    use_evict_index: bool,
 }
 
 impl<'a> Runtime<'a> {
@@ -121,12 +128,15 @@ impl<'a> Runtime<'a> {
                 max_worker
             );
         }
-        let cluster = ClusterState::with_placement(
+        let mut cluster = ClusterState::with_placement(
             &config.sim.workers_mb,
             trace.functions().iter().cloned(),
             config.sim.threads,
             config.sim.placement,
         );
+        cluster.set_scan(config.sim.scan);
+        let use_evict_index = config.sim.scan == ScanMode::Indexed
+            && policies.keepalive.priority_deps() != PriorityDeps::Volatile;
         let (tx, rx) = mpsc::channel();
         let timer = crate::timer::Timer::spawn(tx);
         let start = Instant::now();
@@ -183,6 +193,8 @@ impl<'a> Runtime<'a> {
             attempts: HashMap::new(),
             running: HashMap::new(),
             arrived: 0,
+            evict_index: EvictionIndex::new(),
+            use_evict_index,
         }
     }
 
@@ -263,32 +275,14 @@ impl<'a> Runtime<'a> {
         }
         match decision {
             ScaleDecision::ColdStart => {
-                self.cluster
-                    .fn_runtime_mut(func)
-                    .pending
-                    .push_back(PendingReq {
-                        req: rid,
-                        cold_only: true,
-                    });
+                self.cluster.fn_runtime_mut(func).pending.push(rid, true);
                 self.request_provision(func, false, now, 0);
             }
             ScaleDecision::WaitWarm => {
-                self.cluster
-                    .fn_runtime_mut(func)
-                    .pending
-                    .push_back(PendingReq {
-                        req: rid,
-                        cold_only: false,
-                    });
+                self.cluster.fn_runtime_mut(func).pending.push(rid, false);
             }
             ScaleDecision::Race => {
-                self.cluster
-                    .fn_runtime_mut(func)
-                    .pending
-                    .push_back(PendingReq {
-                        req: rid,
-                        cold_only: false,
-                    });
+                self.cluster.fn_runtime_mut(func).pending.push(rid, false);
                 self.request_provision(func, true, now, 0);
             }
             ScaleDecision::EnqueueOn(cid) => {
@@ -311,6 +305,7 @@ impl<'a> Runtime<'a> {
         if let Some(rid) = self.pop_pending(func, true) {
             self.start_exec(cid, rid, StartClass::Cold, now);
         } else {
+            self.index_candidate(cid, now);
             self.retry_deferred(now);
         }
     }
@@ -354,6 +349,7 @@ impl<'a> Runtime<'a> {
             self.start_exec(cid, next, StartClass::DelayedWarm, now);
             return;
         }
+        self.index_candidate(cid, now);
         self.retry_deferred(now);
     }
 
@@ -454,6 +450,7 @@ impl<'a> Runtime<'a> {
         }
         let now = self.now();
         self.cluster.mark_worker_down(worker);
+        self.evict_index.drop_worker(worker);
         let victims = self.cluster.containers_on(worker);
         let mut voided: Vec<usize> = Vec::new();
         let mut requeue: Vec<(FunctionId, RequestId)> = Vec::new();
@@ -482,13 +479,7 @@ impl<'a> Runtime<'a> {
         self.remove_records(voided);
         requeue.sort_by_key(|&(_, rid)| rid);
         for &(func, rid) in &requeue {
-            self.cluster
-                .fn_runtime_mut(func)
-                .pending
-                .push_back(PendingReq {
-                    req: rid,
-                    cold_only: false,
-                });
+            self.cluster.fn_runtime_mut(func).pending.push(rid, false);
         }
         affected.extend(requeue.iter().map(|&(f, _)| f));
         affected.sort_unstable();
@@ -498,7 +489,7 @@ impl<'a> Runtime<'a> {
                 continue;
             };
             let pending = rt.pending.len();
-            let cold_only = rt.pending.iter().filter(|p| p.cold_only).count();
+            let cold_only = rt.pending.cold_only_len();
             let provisioning = rt.provisioning.len();
             let warm = rt.warm.len();
             let mut need = cold_only.saturating_sub(provisioning);
@@ -541,6 +532,7 @@ impl<'a> Runtime<'a> {
             (c.speculative_unused, c.warm_at)
         };
         self.cluster.occupy_thread(cid, now);
+        self.evict_index.leave(cid);
         let (func, arrival, exec) = self.requests[rid.0 as usize];
         self.started[rid.0 as usize] = Some((now, class));
         let wait = now.saturating_since(arrival);
@@ -598,26 +590,68 @@ impl<'a> Runtime<'a> {
         };
         let mut evicted = Vec::new();
         if self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
-            let mut candidates: Vec<(f64, ContainerId)> = {
-                let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
-                let ka = &self.policies.keepalive;
-                self.cluster.workers()[worker.0 as usize]
-                    .idle
-                    .iter()
-                    .map(|&cid| {
-                        let cinfo = ctx.container(cid).expect("idle containers are live");
-                        (ka.priority(&cinfo, &ctx), cid)
-                    })
-                    .collect()
-            };
-            candidates.sort_by(|a, b| a.partial_cmp(b).expect("priorities must not be NaN"));
-            let mut victims = candidates.into_iter();
-            while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
-                let Some((_, victim)) = victims.next() else {
-                    self.deferred.push_back((func, speculative, attempt));
-                    return;
+            // REPLACE mirror of the simulator: cached cross-round heap
+            // when priorities allow it, otherwise a per-round snapshot.
+            // Unlike the simulator, live candidates are the full idle
+            // set (no local-queue filter) — the historical live
+            // behaviour, preserved bit-for-bit by the reference scan.
+            if self.use_evict_index {
+                while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                    let popped = {
+                        let cluster = &self.cluster;
+                        let busy = &self.busy_until;
+                        let ka = &self.policies.keepalive;
+                        let ctx = PolicyCtx::new(now, cluster, busy);
+                        self.evict_index.pop_min(worker, |cid| {
+                            let c = cluster.container(cid)?;
+                            if !c.is_idle() {
+                                return None;
+                            }
+                            Some(ka.priority(&ContainerInfo::from(c), &ctx))
+                        })
+                    };
+                    let Some((_, victim)) = popped else {
+                        self.deferred.push_back((func, speculative, attempt));
+                        return;
+                    };
+                    evicted.push(self.evict_container(victim, now));
+                }
+            } else {
+                let candidates: Vec<(f64, ContainerId)> = {
+                    let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+                    let ka = &self.policies.keepalive;
+                    self.cluster.workers()[worker.0 as usize]
+                        .idle
+                        .iter()
+                        .map(|&cid| {
+                            let cinfo = ctx.container(cid).expect("idle containers are live");
+                            (ka.priority(&cinfo, &ctx), cid)
+                        })
+                        .collect()
                 };
-                evicted.push(self.evict_container(victim, now));
+                match self.cluster.scan() {
+                    ScanMode::Indexed => {
+                        let mut heap = RoundHeap::from_entries(candidates);
+                        while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                            let Some((_, victim)) = heap.pop() else {
+                                self.deferred.push_back((func, speculative, attempt));
+                                return;
+                            };
+                            evicted.push(self.evict_container(victim, now));
+                        }
+                    }
+                    ScanMode::Reference => {
+                        let sorted = faas_sim::reference::sorted_eviction_candidates(candidates);
+                        let mut victims = sorted.into_iter();
+                        while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                            let Some((_, victim)) = victims.next() else {
+                                self.deferred.push_back((func, speculative, attempt));
+                                return;
+                            };
+                            evicted.push(self.evict_container(victim, now));
+                        }
+                    }
+                }
             }
         }
         let cid = self.cluster.begin_provision(func, worker, now, speculative);
@@ -666,6 +700,7 @@ impl<'a> Runtime<'a> {
             .container(cid)
             .map(|c| c.speculative_unused)
             .unwrap_or(false);
+        self.evict_index.leave(cid);
         let info = self.cluster.evict(cid);
         self.note_memory(now);
         let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
@@ -676,13 +711,35 @@ impl<'a> Runtime<'a> {
         info
     }
 
+    /// Enters `cid` into the eviction index if it just became idle,
+    /// caching its current priority. No-op unless cross-round caching
+    /// is enabled.
+    fn index_candidate(&mut self, cid: ContainerId, now: TimePoint) {
+        if !self.use_evict_index {
+            return;
+        }
+        let Some(c) = self.cluster.container(cid) else {
+            return;
+        };
+        if !c.is_idle() {
+            return;
+        }
+        let worker = c.worker;
+        let priority = {
+            let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+            self.policies
+                .keepalive
+                .priority(&ContainerInfo::from(c), &ctx)
+        };
+        self.evict_index.enter(worker, cid, priority);
+    }
+
     fn pop_pending(&mut self, func: FunctionId, any: bool) -> Option<RequestId> {
         let rt = self.cluster.fn_runtime_mut(func);
         if any {
-            rt.pending.pop_front().map(|p| p.req)
+            rt.pending.pop_any().map(|(rid, _)| rid)
         } else {
-            let idx = rt.pending.iter().position(|p| !p.cold_only)?;
-            rt.pending.remove(idx).map(|p| p.req)
+            rt.pending.pop_flexible()
         }
     }
 

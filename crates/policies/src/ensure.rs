@@ -38,10 +38,14 @@ impl KeepAlive for EnsureKeepAlive {
         container.last_used.as_micros() as f64
     }
 
+    fn priority_deps(&self) -> faas_sim::PriorityDeps {
+        // LRU under pressure: last-use time is frozen while idle.
+        faas_sim::PriorityDeps::ContainerLocal
+    }
+
     fn expirations(&mut self, ctx: &PolicyCtx<'_>) -> Vec<ContainerId> {
         let timeout = TimeDelta::from_secs(IDLE_TIMEOUT_SECS);
-        ctx.all_containers()
-            .into_iter()
+        ctx.all_iter()
             .filter(|c| {
                 c.threads_in_use == 0
                     && ctx.now.saturating_since(c.last_used) >= timeout
@@ -81,14 +85,14 @@ impl Prewarm for EnsurePrewarm {
 
     fn on_tick(&mut self, ctx: &PolicyCtx<'_>) -> Vec<FunctionId> {
         let mut wants = Vec::new();
-        for func in ctx.functions() {
+        for &func in ctx.functions() {
             let total = ctx.invocations(func);
             let last = self.last_counts.insert(func, total).unwrap_or(total);
             let rate = (total - last) as f64;
             if rate == 0.0 {
                 continue;
             }
-            let busy = ctx.saturated_containers(func).len() as u32;
+            let busy = ctx.saturated_count(func) as u32;
             let buffer = (BURST_FACTOR * rate.sqrt()).ceil() as u32;
             let desired = busy + buffer;
             let have = ctx.warm_count(func) + ctx.provisioning_count(func);

@@ -85,7 +85,7 @@ impl Prewarm for IceBreakerPrewarm {
 
     fn on_tick(&mut self, ctx: &PolicyCtx<'_>) -> Vec<FunctionId> {
         let mut wants = Vec::new();
-        for func in ctx.functions() {
+        for &func in ctx.functions() {
             let total = ctx.invocations(func);
             let last = self.last_counts.insert(func, total).unwrap_or(0);
             let delta = total - last;

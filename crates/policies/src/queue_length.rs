@@ -55,11 +55,10 @@ impl Scaler for QueueLengthScaler {
         }
         // Shortest-local-queue busy container of this function.
         let target = ctx
-            .saturated_containers(req.func)
-            .into_iter()
-            .min_by_key(|c| (c.local_queue_len, c.id));
+            .saturated_iter(req.func)
+            .min_by_key(|c| (c.local_queue.len(), c.id));
         match target {
-            Some(c) if self.limit.map(|l| c.local_queue_len < l).unwrap_or(true) => {
+            Some(c) if self.limit.map(|l| c.local_queue.len() < l).unwrap_or(true) => {
                 ScaleDecision::EnqueueOn(c.id)
             }
             _ => ScaleDecision::ColdStart,

@@ -113,6 +113,12 @@ impl KeepAlive for RainbowCakeKeepAlive {
         container.last_used.as_micros() as f64
     }
 
+    fn priority_deps(&self) -> faas_sim::PriorityDeps {
+        // Layer pools affect provisioning latency, not priorities;
+        // priority itself is the frozen last-use time.
+        faas_sim::PriorityDeps::ContainerLocal
+    }
+
     fn on_evict(&mut self, container: &ContainerInfo, ctx: &PolicyCtx<'_>) {
         // The evicted container's layers linger, up to the pool caps.
         let user = self.user_layers.entry(container.func).or_default();
@@ -132,8 +138,7 @@ impl KeepAlive for RainbowCakeKeepAlive {
 
     fn expirations(&mut self, ctx: &PolicyCtx<'_>) -> Vec<ContainerId> {
         // Layer-wise keep-alive still expires whole idle containers.
-        ctx.all_containers()
-            .into_iter()
+        ctx.all_iter()
             .filter(|c| {
                 c.threads_in_use == 0
                     && ctx.now.saturating_since(c.last_used) >= self.container_ttl

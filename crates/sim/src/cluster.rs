@@ -2,11 +2,12 @@
 //! bookkeeping. All state transitions preserving invariants live here;
 //! the engine sequences them.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
+use faas_core::{FreeThreadPool, PendingQueue, WorkerFreeList};
 use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
 
-use crate::config::Placement;
+use crate::config::{Placement, ScanMode};
 use crate::container::{Container, ContainerInfo, ContainerState};
 use crate::ids::{ContainerId, RequestId, WorkerId};
 
@@ -41,17 +42,6 @@ impl Worker {
     }
 }
 
-/// A queued request in a function's wait channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PendingReq {
-    /// The waiting request.
-    pub req: RequestId,
-    /// If set, the request may only be served by a newly provisioned
-    /// container (traditional cold-start semantics); freed busy
-    /// containers skip over it.
-    pub cold_only: bool,
-}
-
 /// Per-function aggregate statistics exposed to policies.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FnStats {
@@ -66,12 +56,20 @@ pub struct FnStats {
 /// Per-function runtime state.
 #[derive(Debug, Clone, Default)]
 pub struct FnRuntime {
-    /// Function-wide wait channel (the paper's per-function FIFO).
-    pub pending: VecDeque<PendingReq>,
+    /// Function-wide wait channel (the paper's per-function FIFO). Each
+    /// entry is a request id flagged *cold-only* (may only be served by
+    /// a newly provisioned container; freed busy containers skip it) or
+    /// flexible. The split-deque representation makes "pop the first
+    /// non-cold-only entry" O(1) instead of a positional scan.
+    pub pending: PendingQueue<RequestId>,
     /// Containers currently provisioning.
     pub provisioning: BTreeSet<ContainerId>,
     /// Warm containers with at least one free thread.
     pub free_threads: BTreeSet<ContainerId>,
+    /// Indexed mirror of `free_threads`, keyed by `threads_in_use` so
+    /// the scheduler's "most-loaded non-saturated container" pick is
+    /// O(log n). Kept in lock-step by the cluster mutators.
+    pub free_pool: FreeThreadPool<ContainerId>,
     /// All warm containers (idle or busy) of this function.
     pub warm: BTreeSet<ContainerId>,
     /// Aggregate statistics.
@@ -86,12 +84,19 @@ pub struct FnRuntime {
 #[derive(Debug)]
 pub struct ClusterState {
     workers: Vec<Worker>,
-    containers: HashMap<ContainerId, Container>,
+    containers: BTreeMap<ContainerId, Container>,
     fns: HashMap<FunctionId, FnRuntime>,
     profiles: HashMap<FunctionId, FunctionProfile>,
+    /// All deployed function ids, sorted once at construction (profiles
+    /// are fixed for the lifetime of the run).
+    function_ids: Vec<FunctionId>,
+    /// Alive workers ordered by free / reclaimable memory for O(log n)
+    /// `MaxFree` placement; resynced after every memory mutation.
+    free_list: WorkerFreeList<WorkerId>,
     next_container: u64,
     thread_capacity: u32,
     placement: Placement,
+    scan: ScanMode,
     round_robin_next: usize,
     /// Total containers ever created (cold starts initiated).
     pub containers_created: u64,
@@ -153,21 +158,55 @@ impl ClusterState {
                 idle_mb: 0,
                 alive: true,
             })
-            .collect();
+            .collect::<Vec<_>>();
+        let profiles: HashMap<FunctionId, FunctionProfile> =
+            profiles.into_iter().map(|p| (p.id, p)).collect();
+        let mut function_ids: Vec<FunctionId> = profiles.keys().copied().collect();
+        function_ids.sort_unstable();
+        let mut free_list = WorkerFreeList::new();
+        for w in &workers {
+            free_list.set(w.id, w.free_mb(), w.reclaimable_mb());
+        }
         Self {
             workers,
-            containers: HashMap::new(),
+            containers: BTreeMap::new(),
             fns: HashMap::new(),
-            profiles: profiles.into_iter().map(|p| (p.id, p)).collect(),
+            profiles,
+            function_ids,
+            free_list,
             next_container: 0,
             thread_capacity,
             placement,
+            scan: ScanMode::Indexed,
             round_robin_next: 0,
             containers_created: 0,
             containers_evicted: 0,
             wasted_cold_starts: 0,
             provision_failures: 0,
             crash_evictions: 0,
+        }
+    }
+
+    /// Selects the hot-path implementation (indexed pools vs the
+    /// retained reference scans). Defaults to [`ScanMode::Indexed`].
+    pub fn set_scan(&mut self, scan: ScanMode) {
+        self.scan = scan;
+    }
+
+    /// The configured hot-path implementation.
+    pub fn scan(&self) -> ScanMode {
+        self.scan
+    }
+
+    /// Resyncs the free-list entry for `worker` after a memory or
+    /// liveness mutation. Dead workers are dropped from the list so
+    /// placement never considers them.
+    fn sync_worker(&mut self, worker: WorkerId) {
+        let w = &self.workers[worker.0 as usize];
+        if w.alive {
+            self.free_list.set(worker, w.free_mb(), w.reclaimable_mb());
+        } else {
+            self.free_list.remove(worker);
         }
     }
 
@@ -252,21 +291,24 @@ impl ClusterState {
     pub fn pick_worker(&mut self, mem_mb: u32) -> Option<WorkerId> {
         let need = mem_mb as u64;
         match self.placement {
-            Placement::MaxFree => {
-                if let Some(w) = self
-                    .workers
-                    .iter()
-                    .filter(|w| w.alive && w.free_mb() >= need)
-                    .max_by_key(|w| (w.free_mb(), std::cmp::Reverse(w.id)))
-                {
-                    return Some(w.id);
+            Placement::MaxFree => match self.scan {
+                // The free-list holds exactly the alive workers, so the
+                // global max passing the `>= need` filter is the same
+                // worker the reference filter-then-max scan picks (and
+                // both break ties toward the lowest worker id).
+                ScanMode::Indexed => {
+                    if let Some((free, w)) = self.free_list.best_by_free() {
+                        if free >= need {
+                            return Some(w);
+                        }
+                    }
+                    self.free_list
+                        .best_by_reclaimable()
+                        .filter(|&(reclaimable, _)| reclaimable >= need)
+                        .map(|(_, w)| w)
                 }
-                self.workers
-                    .iter()
-                    .filter(|w| w.alive && w.reclaimable_mb() >= need)
-                    .max_by_key(|w| (w.reclaimable_mb(), std::cmp::Reverse(w.id)))
-                    .map(|w| w.id)
-            }
+                ScanMode::Reference => crate::reference::pick_worker_max_free(self, need),
+            },
             Placement::FirstFit => {
                 if let Some(w) = self.workers.iter().find(|w| w.alive && w.free_mb() >= need) {
                     return Some(w.id);
@@ -324,6 +366,7 @@ impl ClusterState {
             w.free_mb()
         );
         w.used_mb += profile.mem_mb as u64;
+        self.sync_worker(worker);
         let id = ContainerId(self.next_container);
         self.next_container += 1;
         self.containers_created += 1;
@@ -365,12 +408,14 @@ impl ClusterState {
         let rt = self.fn_runtime_mut(func);
         rt.provisioning.remove(&id);
         rt.free_threads.insert(id);
+        rt.free_pool.set(id, 0);
         rt.warm.insert(id);
         let mem = self.containers[&id].mem_mb as u64;
         let w = &mut self.workers[worker.0 as usize];
         if w.idle.insert(id) {
             w.idle_mb += mem;
         }
+        self.sync_worker(worker);
     }
 
     /// Occupies one execution thread on a warm container.
@@ -392,15 +437,26 @@ impl ClusterState {
         c.last_used = now;
         c.served += 1;
         c.speculative_unused = false;
-        let (func, worker, saturated, mem) = (c.func, c.worker, c.is_saturated(), c.mem_mb as u64);
+        let (func, worker, threads, saturated, mem) = (
+            c.func,
+            c.worker,
+            c.threads_in_use,
+            c.is_saturated(),
+            c.mem_mb as u64,
+        );
+        let rt = self.fn_runtime_mut(func);
         if saturated {
-            self.fn_runtime_mut(func).free_threads.remove(&id);
+            rt.free_threads.remove(&id);
+            rt.free_pool.remove(id);
+        } else {
+            rt.free_pool.set(id, threads);
         }
         if was_idle {
             let w = &mut self.workers[worker.0 as usize];
             if w.idle.remove(&id) {
                 w.idle_mb -= mem;
             }
+            self.sync_worker(worker);
         }
     }
 
@@ -416,14 +472,22 @@ impl ClusterState {
             .expect("release_thread of unknown container");
         assert!(c.threads_in_use > 0, "release_thread on idle container");
         c.threads_in_use -= 1;
-        let (func, worker, now_idle, mem) =
-            (c.func, c.worker, c.threads_in_use == 0, c.mem_mb as u64);
-        self.fn_runtime_mut(func).free_threads.insert(id);
+        let (func, worker, threads, now_idle, mem) = (
+            c.func,
+            c.worker,
+            c.threads_in_use,
+            c.threads_in_use == 0,
+            c.mem_mb as u64,
+        );
+        let rt = self.fn_runtime_mut(func);
+        rt.free_threads.insert(id);
+        rt.free_pool.set(id, threads);
         if now_idle {
             let w = &mut self.workers[worker.0 as usize];
             if w.idle.insert(id) {
                 w.idle_mb += mem;
             }
+            self.sync_worker(worker);
         }
     }
 
@@ -450,12 +514,14 @@ impl ClusterState {
         self.containers_evicted += 1;
         let rt = self.fn_runtime_mut(c.func);
         rt.free_threads.remove(&id);
+        rt.free_pool.remove(id);
         rt.warm.remove(&id);
         let w = &mut self.workers[c.worker.0 as usize];
         if w.idle.remove(&id) {
             w.idle_mb -= c.mem_mb as u64;
         }
         w.used_mb -= c.mem_mb as u64;
+        self.sync_worker(c.worker);
         info
     }
 
@@ -469,19 +535,18 @@ impl ClusterState {
     /// new ones for the rest of the run.
     pub fn mark_worker_down(&mut self, worker: WorkerId) {
         self.workers[worker.0 as usize].alive = false;
+        self.free_list.remove(worker);
     }
 
     /// Ids of every live (warm or provisioning) container hosted on
     /// `worker`, sorted for deterministic iteration.
     pub fn containers_on(&self, worker: WorkerId) -> Vec<ContainerId> {
-        let mut v: Vec<ContainerId> = self
-            .containers
+        // The container map is id-ordered, so no sort is needed.
+        self.containers
             .values()
             .filter(|c| c.worker == worker)
             .map(|c| c.id)
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
     }
 
     /// Abandons a provisioning container whose provision failed (fault
@@ -504,6 +569,7 @@ impl ClusterState {
         self.provision_failures += 1;
         self.fn_runtime_mut(c.func).provisioning.remove(&id);
         self.workers[c.worker.0 as usize].used_mb -= c.mem_mb as u64;
+        self.sync_worker(c.worker);
         info
     }
 
@@ -529,12 +595,14 @@ impl ClusterState {
         let rt = self.fn_runtime_mut(c.func);
         rt.provisioning.remove(&id);
         rt.free_threads.remove(&id);
+        rt.free_pool.remove(id);
         rt.warm.remove(&id);
         let w = &mut self.workers[c.worker.0 as usize];
         if w.idle.remove(&id) {
             w.idle_mb -= c.mem_mb as u64;
         }
         w.used_mb -= c.mem_mb as u64;
+        self.sync_worker(c.worker);
         (info, queued)
     }
 
@@ -593,7 +661,38 @@ impl ClusterState {
                 );
             }
         }
+        for w in &self.workers {
+            let want = if w.alive {
+                Some((w.free_mb(), w.reclaimable_mb()))
+            } else {
+                None
+            };
+            assert_eq!(
+                self.free_list.key_of(w.id),
+                want,
+                "worker {:?} free-list entry drifted",
+                w.id
+            );
+        }
+        assert_eq!(
+            self.free_list.len(),
+            self.workers.iter().filter(|w| w.alive).count(),
+            "free-list tracks a worker that is not alive"
+        );
         for (func, rt) in &self.fns {
+            assert_eq!(
+                rt.free_pool.len(),
+                rt.free_threads.len(),
+                "free pool and free_threads set disagree for {func:?}"
+            );
+            for id in &rt.free_threads {
+                let c = &self.containers[id];
+                assert_eq!(
+                    rt.free_pool.key_of(*id),
+                    Some(c.threads_in_use),
+                    "free pool key drifted for {id:?}"
+                );
+            }
             for id in &rt.provisioning {
                 let c = self
                     .containers
@@ -630,16 +729,13 @@ impl ClusterState {
     /// non-saturated one (packing requests tightly keeps more containers
     /// fully idle and thus evictable); ties break toward the oldest id.
     pub fn pick_available(&self, func: FunctionId) -> Option<ContainerId> {
-        let rt = self.fns.get(&func)?;
-        rt.free_threads
-            .iter()
-            .max_by_key(|cid| {
-                (
-                    self.containers[cid].threads_in_use,
-                    std::cmp::Reverse(**cid),
-                )
-            })
-            .copied()
+        match self.scan {
+            // The pool keys each container by its live `threads_in_use`,
+            // so its max is the same `(threads_in_use, Reverse(id))`
+            // argmax the reference scan computes.
+            ScanMode::Indexed => self.fns.get(&func)?.free_pool.pick(),
+            ScanMode::Reference => crate::reference::pick_available(self, func),
+        }
     }
 
     /// Number of warm containers (idle or busy) for `func` — the paper's
@@ -682,11 +778,34 @@ impl ClusterState {
         }
     }
 
+    /// Iterates over warm, saturated containers of `func` without
+    /// allocating (the borrow-based flavor of
+    /// [`ClusterState::saturated_containers`]).
+    pub fn saturated_iter(&self, func: FunctionId) -> impl Iterator<Item = &Container> + '_ {
+        self.fns
+            .get(&func)
+            .into_iter()
+            .flat_map(|rt| rt.warm.iter())
+            .map(|cid| &self.containers[cid])
+            .filter(|c| c.is_saturated())
+    }
+
     /// Snapshot of every live (warm or provisioning) container.
     pub fn all_containers(&self) -> Vec<ContainerInfo> {
-        let mut v: Vec<ContainerInfo> = self.containers.values().map(ContainerInfo::from).collect();
-        v.sort_by_key(|c| c.id);
-        v
+        // The container map is id-ordered, so no sort is needed.
+        self.containers.values().map(ContainerInfo::from).collect()
+    }
+
+    /// Iterates over every live container in id order without
+    /// allocating (the borrow-based flavor of
+    /// [`ClusterState::all_containers`]).
+    pub fn all_iter(&self) -> impl Iterator<Item = &Container> + '_ {
+        self.containers.values()
+    }
+
+    /// All deployed function ids, sorted (fixed at construction).
+    pub fn function_ids(&self) -> &[FunctionId] {
+        &self.function_ids
     }
 
     /// Average invocations per minute since the function's first request
@@ -777,17 +896,33 @@ impl<'a> PolicyCtx<'a> {
         self.cluster.saturated_containers(func)
     }
 
+    /// Iterates warm, saturated containers of the function without
+    /// allocating a snapshot vector (preferred on hot decision paths).
+    pub fn saturated_iter(&self, func: FunctionId) -> impl Iterator<Item = &'a Container> + 'a {
+        self.cluster.saturated_iter(func)
+    }
+
+    /// Number of warm, saturated containers of the function.
+    pub fn saturated_count(&self, func: FunctionId) -> usize {
+        self.cluster.saturated_iter(func).count()
+    }
+
     /// Snapshot of every live container (used by prewarming baselines).
     pub fn all_containers(&self) -> Vec<ContainerInfo> {
         self.cluster.all_containers()
     }
 
+    /// Iterates every live container in id order without allocating a
+    /// snapshot vector (preferred on hot decision paths).
+    pub fn all_iter(&self) -> impl Iterator<Item = &'a Container> + 'a {
+        self.cluster.all_iter()
+    }
+
     /// All deployed function ids, sorted (used by prewarming baselines to
-    /// scan demand).
-    pub fn functions(&self) -> Vec<FunctionId> {
-        let mut ids: Vec<FunctionId> = self.cluster.profiles().map(|p| p.id).collect();
-        ids.sort_unstable();
-        ids
+    /// scan demand). Borrowed from the cluster's construction-time list —
+    /// no per-call allocation.
+    pub fn functions(&self) -> &'a [FunctionId] {
+        self.cluster.function_ids()
     }
 
     /// Memory currently in use across the cluster, in MB.

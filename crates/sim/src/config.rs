@@ -21,6 +21,20 @@ pub enum Placement {
     FirstFit,
 }
 
+/// Which implementation the scheduling/eviction hot paths use.
+///
+/// Both modes make byte-identical decisions; the reference mode keeps
+/// the original linear scans alive as the oracle for differential
+/// property tests (see `faas_sim::reference` and `tests/equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Indexed pools and lazy-deletion eviction heaps (production).
+    #[default]
+    Indexed,
+    /// The retained naive linear scans (differential-test oracle).
+    Reference,
+}
+
 /// Configuration of one simulation run.
 ///
 /// The defaults model the paper's main testbed: a three-worker cluster
@@ -51,6 +65,10 @@ pub struct SimConfig {
     /// Fault-injection schedule ([`FaultPlan::none`] by default — zero
     /// RNG draws, zero fault events, byte-identical to fault-free runs).
     pub faults: FaultPlan,
+    /// Hot-path implementation selector ([`ScanMode::Indexed`] by
+    /// default; [`ScanMode::Reference`] replays the original linear
+    /// scans for differential testing).
+    pub scan: ScanMode,
 }
 
 impl Default for SimConfig {
@@ -72,6 +90,7 @@ impl SimConfig {
             record_memory: true,
             placement: Placement::MaxFree,
             faults: FaultPlan::none(),
+            scan: ScanMode::Indexed,
         }
     }
 
@@ -118,6 +137,12 @@ impl SimConfig {
         self.faults = faults;
         self
     }
+
+    /// Sets the hot-path implementation ([`ScanMode`]).
+    pub fn scan_mode(mut self, scan: ScanMode) -> Self {
+        self.scan = scan;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +177,13 @@ mod tests {
         assert_eq!(SimConfig::default().placement, Placement::MaxFree);
         let cfg = SimConfig::default().placement(Placement::RoundRobin);
         assert_eq!(cfg.placement, Placement::RoundRobin);
+    }
+
+    #[test]
+    fn scan_mode_defaults_indexed() {
+        assert_eq!(SimConfig::default().scan, ScanMode::Indexed);
+        let cfg = SimConfig::default().scan_mode(ScanMode::Reference);
+        assert_eq!(cfg.scan, ScanMode::Reference);
     }
 
     #[test]

@@ -22,15 +22,17 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use faas_core::{EvictionIndex, RoundHeap};
 use faas_metrics::TimeSeries;
 use faas_trace::{FunctionId, TimePoint, Trace};
 
-use crate::cluster::{ClusterState, PendingReq, PolicyCtx};
-use crate::config::SimConfig;
+use crate::cluster::{ClusterState, PolicyCtx};
+use crate::config::{ScanMode, SimConfig};
+use crate::container::ContainerInfo;
 use crate::event::{Event, EventQueue};
 use crate::fault::FaultState;
 use crate::ids::{ContainerId, RequestId, WorkerId};
-use crate::policy::{PolicyStack, ScaleDecision, StartClass};
+use crate::policy::{PolicyStack, PriorityDeps, ScaleDecision, StartClass};
 use crate::report::{RequestRecord, SimReport};
 use crate::request::RequestState;
 
@@ -85,6 +87,14 @@ struct Simulation<'a> {
     running: HashMap<ContainerId, Vec<(RequestId, usize)>>,
     /// Arrival events processed so far (request-conservation invariant).
     arrived: u64,
+    /// Lazy-deletion heap of eviction candidates per worker, maintained
+    /// across rounds when `use_evict_index` is set.
+    evict_index: EvictionIndex<WorkerId, ContainerId>,
+    /// Whether cached priorities in `evict_index` are sound for the
+    /// configured keep-alive policy: requires [`ScanMode::Indexed`] and
+    /// a non-[`PriorityDeps::Volatile`] policy. Volatile policies fall
+    /// back to a per-round heapify of fresh priorities.
+    use_evict_index: bool,
 }
 
 impl<'a> Simulation<'a> {
@@ -99,12 +109,15 @@ impl<'a> Simulation<'a> {
                 max_worker
             );
         }
-        let cluster = ClusterState::with_placement(
+        let mut cluster = ClusterState::with_placement(
             &config.workers_mb,
             trace.functions().iter().cloned(),
             config.threads,
             config.placement,
         );
+        cluster.set_scan(config.scan);
+        let use_evict_index = config.scan == ScanMode::Indexed
+            && policies.keepalive.priority_deps() != PriorityDeps::Volatile;
         let mut events = EventQueue::new();
         let mut requests = Vec::with_capacity(trace.len());
         for (i, inv) in trace.invocations().iter().enumerate() {
@@ -147,6 +160,8 @@ impl<'a> Simulation<'a> {
             attempts: HashMap::new(),
             running: HashMap::new(),
             arrived: 0,
+            evict_index: EvictionIndex::new(),
+            use_evict_index,
         }
     }
 
@@ -223,32 +238,14 @@ impl<'a> Simulation<'a> {
 
         match decision {
             ScaleDecision::ColdStart => {
-                self.cluster
-                    .fn_runtime_mut(func)
-                    .pending
-                    .push_back(PendingReq {
-                        req: rid,
-                        cold_only: true,
-                    });
+                self.cluster.fn_runtime_mut(func).pending.push(rid, true);
                 self.request_provision(func, false, 0);
             }
             ScaleDecision::WaitWarm => {
-                self.cluster
-                    .fn_runtime_mut(func)
-                    .pending
-                    .push_back(PendingReq {
-                        req: rid,
-                        cold_only: false,
-                    });
+                self.cluster.fn_runtime_mut(func).pending.push(rid, false);
             }
             ScaleDecision::Race => {
-                self.cluster
-                    .fn_runtime_mut(func)
-                    .pending
-                    .push_back(PendingReq {
-                        req: rid,
-                        cold_only: false,
-                    });
+                self.cluster.fn_runtime_mut(func).pending.push(rid, false);
                 self.request_provision(func, true, 0);
             }
             ScaleDecision::EnqueueOn(cid) => {
@@ -274,6 +271,7 @@ impl<'a> Simulation<'a> {
             // Idle immediately: if speculative, the container may turn out
             // wasted; either way it is now evictable, so deferred
             // provisions may fit.
+            self.index_candidate(cid);
             self.retry_deferred();
         }
     }
@@ -322,6 +320,7 @@ impl<'a> Simulation<'a> {
         }
         // The container (or one of its threads) idles; idle memory is
         // evictable, so deferred provisions may now fit.
+        self.index_candidate(cid);
         self.retry_deferred();
     }
 
@@ -424,6 +423,7 @@ impl<'a> Simulation<'a> {
             return; // duplicate crash event
         }
         self.cluster.mark_worker_down(worker);
+        self.evict_index.drop_worker(worker);
         let victims = self.cluster.containers_on(worker);
         let mut voided: Vec<usize> = Vec::new();
         let mut requeue: Vec<(FunctionId, RequestId)> = Vec::new();
@@ -457,13 +457,7 @@ impl<'a> Simulation<'a> {
         // resource may serve a crash refugee.
         requeue.sort_by_key(|&(_, rid)| rid);
         for &(func, rid) in &requeue {
-            self.cluster
-                .fn_runtime_mut(func)
-                .pending
-                .push_back(PendingReq {
-                    req: rid,
-                    cold_only: false,
-                });
+            self.cluster.fn_runtime_mut(func).pending.push(rid, false);
         }
         affected.extend(requeue.iter().map(|&(f, _)| f));
         affected.sort_unstable();
@@ -478,7 +472,7 @@ impl<'a> Simulation<'a> {
                 continue;
             };
             let pending = rt.pending.len();
-            let cold_only = rt.pending.iter().filter(|p| p.cold_only).count();
+            let cold_only = rt.pending.cold_only_len();
             let provisioning = rt.provisioning.len();
             let warm = rt.warm.len();
             let mut need = cold_only.saturating_sub(provisioning);
@@ -525,6 +519,8 @@ impl<'a> Simulation<'a> {
             (c.speculative_unused, c.warm_at)
         };
         self.cluster.occupy_thread(cid, self.now);
+        // A busy container is no longer an eviction candidate.
+        self.evict_index.leave(cid);
         let req = &mut self.requests[rid.0 as usize];
         req.started = Some(self.now);
         req.class = Some(class);
@@ -583,7 +579,40 @@ impl<'a> Simulation<'a> {
         // are computed once per replacement (the paper's lazily resorted
         // priority queue), not once per victim.
         if self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
-            let mut candidates: Vec<(f64, ContainerId)> = {
+            let mut evicted = Vec::new();
+            if self.use_evict_index {
+                // Cross-round cached candidates: pop victims straight off
+                // the worker's lazy-deletion heap, re-validating each
+                // cached priority against a fresh evaluation at pop time
+                // (exact for non-volatile policies, see `PriorityDeps`).
+                while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                    let popped = {
+                        let cluster = &self.cluster;
+                        let busy = &self.busy_until;
+                        let ka = &self.policies.keepalive;
+                        let ctx = PolicyCtx::new(self.now, cluster, busy);
+                        self.evict_index.pop_min(worker, |cid| {
+                            let c = cluster.container(cid)?;
+                            if !(c.is_idle() && c.local_queue.is_empty()) {
+                                return None;
+                            }
+                            Some(ka.priority(&ContainerInfo::from(c), &ctx))
+                        })
+                    };
+                    let Some((_, victim)) = popped else {
+                        // Raced with our own accounting: pick_worker said
+                        // this fits, so there must be victims. Defensive
+                        // fallback.
+                        self.deferred.push_back((func, speculative, attempt));
+                        return;
+                    };
+                    evicted.push(self.evict_container(victim));
+                }
+                return self.finish_admission(func, worker, speculative, evicted, attempt);
+            }
+            // Per-round candidate snapshot (reference scan, or volatile
+            // priorities that cannot be cached across rounds).
+            let candidates: Vec<(f64, ContainerId)> = {
                 let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
                 let ka = &self.policies.keepalive;
                 self.cluster.workers()[worker.0 as usize]
@@ -601,17 +630,30 @@ impl<'a> Simulation<'a> {
                     })
                     .collect()
             };
-            candidates.sort_by(|a, b| a.partial_cmp(b).expect("priorities must not be NaN"));
-            let mut victims = candidates.into_iter();
-            let mut evicted = Vec::new();
-            while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
-                let Some((_, victim)) = victims.next() else {
-                    // Raced with our own accounting: pick_worker said this
-                    // fits, so there must be victims. Defensive fallback.
-                    self.deferred.push_back((func, speculative, attempt));
-                    return;
-                };
-                evicted.push(self.evict_container(victim));
+            match self.cluster.scan() {
+                ScanMode::Indexed => {
+                    // O(n) heapify + O(victims log n) pops, identical
+                    // order to the reference full sort.
+                    let mut heap = RoundHeap::from_entries(candidates);
+                    while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                        let Some((_, victim)) = heap.pop() else {
+                            self.deferred.push_back((func, speculative, attempt));
+                            return;
+                        };
+                        evicted.push(self.evict_container(victim));
+                    }
+                }
+                ScanMode::Reference => {
+                    let sorted = crate::reference::sorted_eviction_candidates(candidates);
+                    let mut victims = sorted.into_iter();
+                    while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                        let Some((_, victim)) = victims.next() else {
+                            self.deferred.push_back((func, speculative, attempt));
+                            return;
+                        };
+                        evicted.push(self.evict_container(victim));
+                    }
+                }
             }
             return self.finish_admission(func, worker, speculative, evicted, attempt);
         }
@@ -667,6 +709,29 @@ impl<'a> Simulation<'a> {
         self.events.push(self.now + cold, Event::ProvisionDone(cid));
     }
 
+    /// Enters `cid` into the eviction index if it just became a
+    /// candidate (fully idle, empty local queue), caching its current
+    /// priority. No-op unless cross-round caching is enabled.
+    fn index_candidate(&mut self, cid: ContainerId) {
+        if !self.use_evict_index {
+            return;
+        }
+        let Some(c) = self.cluster.container(cid) else {
+            return;
+        };
+        if !(c.is_idle() && c.local_queue.is_empty()) {
+            return;
+        }
+        let worker = c.worker;
+        let priority = {
+            let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
+            self.policies
+                .keepalive
+                .priority(&ContainerInfo::from(c), &ctx)
+        };
+        self.evict_index.enter(worker, cid, priority);
+    }
+
     /// Evicts one idle container, firing policy hooks.
     fn evict_container(&mut self, cid: ContainerId) -> crate::container::ContainerInfo {
         let was_unused = self
@@ -674,6 +739,7 @@ impl<'a> Simulation<'a> {
             .container(cid)
             .map(|c| c.speculative_unused)
             .unwrap_or(false);
+        self.evict_index.leave(cid);
         let info = self.cluster.evict(cid);
         self.note_memory();
         let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
@@ -692,10 +758,9 @@ impl<'a> Simulation<'a> {
     fn pop_pending(&mut self, func: FunctionId, any: bool) -> Option<RequestId> {
         let rt = self.cluster.fn_runtime_mut(func);
         if any {
-            rt.pending.pop_front().map(|p| p.req)
+            rt.pending.pop_any().map(|(rid, _)| rid)
         } else {
-            let idx = rt.pending.iter().position(|p| !p.cold_only)?;
-            rt.pending.remove(idx).map(|p| p.req)
+            rt.pending.pop_flexible()
         }
     }
 

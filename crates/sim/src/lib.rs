@@ -39,18 +39,21 @@ mod fault;
 mod ids;
 mod invariant;
 mod policy;
+pub mod reference;
 mod report;
 mod request;
 
-pub use cluster::{ClusterState, FnRuntime, FnStats, PendingReq, PolicyCtx, Worker};
-pub use config::{Placement, SimConfig};
+pub use cluster::{ClusterState, FnRuntime, FnStats, PolicyCtx, Worker};
+pub use config::{Placement, ScanMode, SimConfig};
 pub use container::{Container, ContainerInfo, ContainerState};
 pub use engine::run;
 pub use event::{Event, EventQueue};
 pub use fault::{FaultPlan, FaultState};
 pub use ids::{ContainerId, RequestId, WorkerId};
 pub use invariant::InvariantChecker;
-pub use policy::{AlwaysCold, KeepAlive, PolicyStack, Prewarm, ScaleDecision, Scaler, StartClass};
+pub use policy::{
+    AlwaysCold, KeepAlive, PolicyStack, Prewarm, PriorityDeps, ScaleDecision, Scaler, StartClass,
+};
 pub use report::{RequestRecord, SimReport};
 pub use request::{RequestInfo, RequestState};
 
@@ -74,6 +77,11 @@ impl KeepAlive for LruKeepAlive {
 
     fn priority(&self, container: &ContainerInfo, _ctx: &PolicyCtx<'_>) -> f64 {
         container.last_used.as_micros() as f64
+    }
+
+    fn priority_deps(&self) -> PriorityDeps {
+        // Last-use time is frozen while a container sits idle.
+        PriorityDeps::ContainerLocal
     }
 }
 

@@ -43,6 +43,36 @@ pub enum StartClass {
     Cold,
 }
 
+/// What a keep-alive policy's [`KeepAlive::priority`] depends on, which
+/// determines how aggressively the engine may cache it in the
+/// lazy-deletion eviction index.
+///
+/// The index caches a container's priority when it becomes idle and
+/// only trusts the cache if a fresh evaluation at pop time agrees (or
+/// re-keys and retries if the fresh value grew). That scheme is exact
+/// *only* when priorities never decrease while a container stays idle —
+/// "monotone staleness". Each variant asserts a progressively weaker
+/// guarantee:
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityDeps {
+    /// Priority is a pure function of the container's own frozen fields
+    /// (last-use time, creation time, per-container base value). It
+    /// cannot change at all while the container sits idle, so cached
+    /// values are always exact.
+    ContainerLocal,
+    /// Priority additionally reads per-function counters that only grow
+    /// (invocation counts, frequency numerators). Cached values can go
+    /// stale but only *low*; the index's re-key-on-mismatch pop remains
+    /// exact.
+    FunctionFreq,
+    /// Priority reads state that can move in either direction while the
+    /// container is idle (warm-container counts, shared clocks divided
+    /// by volatile quantities). No caching is sound; the engine falls
+    /// back to a per-round heapify of fresh priorities. The safe
+    /// default.
+    Volatile,
+}
+
 /// Keep-alive (cache eviction) policy over warm containers.
 ///
 /// The engine reclaims memory by evicting idle containers in ascending
@@ -78,6 +108,17 @@ pub trait KeepAlive {
     /// Keep-alive priority of an idle container; the engine evicts the
     /// lowest-priority candidates first.
     fn priority(&self, container: &ContainerInfo, ctx: &PolicyCtx<'_>) -> f64;
+
+    /// Declares what [`KeepAlive::priority`] depends on so the engine
+    /// knows whether cached priorities stay valid while a container is
+    /// idle (see [`PriorityDeps`]). The default, [`PriorityDeps::Volatile`],
+    /// is always safe: it disables cross-round caching and costs one
+    /// O(n) heapify per memory-pressure round. Override only if the
+    /// stated invariant genuinely holds — the differential oracle tests
+    /// will catch a lie, but only on workloads they happen to generate.
+    fn priority_deps(&self) -> PriorityDeps {
+        PriorityDeps::Volatile
+    }
 
     /// Containers to expire right now irrespective of memory pressure
     /// (TTL-style policies); called on every engine tick. Non-idle ids

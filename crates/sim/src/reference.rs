@@ -1,0 +1,65 @@
+//! The pre-index linear scans, retained verbatim as the oracle for
+//! differential testing.
+//!
+//! Every function here is the naive O(n) / O(n log n) implementation the
+//! indexed hot paths replaced. [`crate::ScanMode::Reference`] routes the
+//! engine through these, and `tests/equivalence.rs` asserts that random
+//! workloads produce byte-identical reports either way. Keep these scans
+//! dumb and obviously correct — their value is that they are too simple
+//! to be wrong in the same way an index-maintenance bug would be.
+
+use std::cmp::Reverse;
+
+use faas_trace::FunctionId;
+
+use crate::cluster::ClusterState;
+use crate::ids::{ContainerId, WorkerId};
+
+/// `MaxFree` placement by two linear filter-then-max passes: first the
+/// alive worker with the most free memory that already fits `need` MB,
+/// then (under pressure) the one with the most free-plus-idle
+/// reclaimable memory. Ties break toward the lowest worker id.
+pub fn pick_worker_max_free(cluster: &ClusterState, need: u64) -> Option<WorkerId> {
+    if let Some(w) = cluster
+        .workers()
+        .iter()
+        .filter(|w| w.alive && w.free_mb() >= need)
+        .max_by_key(|w| (w.free_mb(), Reverse(w.id)))
+    {
+        return Some(w.id);
+    }
+    cluster
+        .workers()
+        .iter()
+        .filter(|w| w.alive && w.reclaimable_mb() >= need)
+        .max_by_key(|w| (w.reclaimable_mb(), Reverse(w.id)))
+        .map(|w| w.id)
+}
+
+/// Dispatch pick by a linear max-scan over the function's free-thread
+/// set: the most-loaded non-saturated container, oldest id on ties.
+pub fn pick_available(cluster: &ClusterState, func: FunctionId) -> Option<ContainerId> {
+    let rt = cluster.fn_runtime(func)?;
+    rt.free_threads
+        .iter()
+        .max_by_key(|cid| {
+            (
+                cluster
+                    .container(**cid)
+                    .expect("free_threads references dead container")
+                    .threads_in_use,
+                Reverse(**cid),
+            )
+        })
+        .copied()
+}
+
+/// The eviction order of a memory-pressure round: a full
+/// recompute-and-sort of every candidate's `(priority, id)`, ascending.
+/// Panics on NaN priorities exactly as the original sort did.
+pub fn sorted_eviction_candidates(
+    mut candidates: Vec<(f64, ContainerId)>,
+) -> Vec<(f64, ContainerId)> {
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("priorities must not be NaN"));
+    candidates
+}

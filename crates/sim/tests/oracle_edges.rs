@@ -1,0 +1,146 @@
+//! Edge cases of the policy-facing cluster queries that the indexed
+//! refactor must not disturb: `oracle_earliest_free` and the
+//! saturated-container views, across dead workers, provisioning-only
+//! functions, and the exact saturation boundary.
+
+use std::collections::HashMap;
+
+use faas_sim::{ClusterState, ContainerId, PolicyCtx, WorkerId};
+use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
+
+fn profiles(n: u32) -> Vec<FunctionProfile> {
+    (0..n)
+        .map(|i| {
+            FunctionProfile::new(
+                FunctionId(i),
+                format!("f{i}"),
+                100,
+                TimeDelta::from_millis(50),
+            )
+        })
+        .collect()
+}
+
+fn warm(cl: &mut ClusterState, func: u32, worker: u16) -> ContainerId {
+    let id = cl.begin_provision(FunctionId(func), WorkerId(worker), TimePoint::ZERO, false);
+    cl.finish_provision(id, TimePoint::ZERO);
+    id
+}
+
+#[test]
+fn oracle_earliest_free_is_none_for_provisioning_only_function() {
+    let mut cl = ClusterState::new(&[1_000], profiles(1), 1);
+    // Provisioning has begun but no container is warm yet.
+    let _pending = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
+    let busy = HashMap::new();
+    let ctx = PolicyCtx::new(TimePoint::from_secs(1), &cl, &busy);
+    assert_eq!(ctx.oracle_earliest_free(FunctionId(0)), None);
+    assert!(ctx.saturated_containers(FunctionId(0)).is_empty());
+    assert_eq!(ctx.saturated_count(FunctionId(0)), 0);
+}
+
+#[test]
+fn oracle_earliest_free_picks_global_minimum_across_containers() {
+    let mut cl = ClusterState::new(&[1_000], profiles(1), 2);
+    let a = warm(&mut cl, 0, 0);
+    let b = warm(&mut cl, 0, 0);
+    cl.occupy_thread(a, TimePoint::ZERO);
+    cl.occupy_thread(b, TimePoint::ZERO);
+    let mut busy = HashMap::new();
+    busy.insert(
+        a,
+        vec![TimePoint::from_millis(900), TimePoint::from_millis(400)],
+    );
+    busy.insert(b, vec![TimePoint::from_millis(700)]);
+    let ctx = PolicyCtx::new(TimePoint::from_millis(100), &cl, &busy);
+    assert_eq!(
+        ctx.oracle_earliest_free(FunctionId(0)),
+        Some(TimePoint::from_millis(400))
+    );
+}
+
+#[test]
+fn dead_workers_drop_out_of_oracle_and_saturation_views() {
+    let mut cl = ClusterState::new(&[1_000, 1_000], profiles(1), 1);
+    let doomed = warm(&mut cl, 0, 0);
+    let survivor = warm(&mut cl, 0, 1);
+    cl.occupy_thread(doomed, TimePoint::ZERO);
+    cl.occupy_thread(survivor, TimePoint::ZERO);
+    let mut busy = HashMap::new();
+    busy.insert(doomed, vec![TimePoint::from_millis(200)]);
+    busy.insert(survivor, vec![TimePoint::from_millis(800)]);
+
+    cl.mark_worker_down(WorkerId(0));
+    for cid in cl.containers_on(WorkerId(0)) {
+        let _ = cl.crash_evict(cid);
+        busy.remove(&cid);
+    }
+
+    let ctx = PolicyCtx::new(TimePoint::from_millis(100), &cl, &busy);
+    // The dead worker's container (and its earlier free time) is gone.
+    assert_eq!(
+        ctx.oracle_earliest_free(FunctionId(0)),
+        Some(TimePoint::from_millis(800))
+    );
+    let saturated: Vec<ContainerId> = ctx.saturated_iter(FunctionId(0)).map(|c| c.id).collect();
+    assert_eq!(saturated, vec![survivor]);
+    // And the crashed worker can no longer host provisions.
+    assert!(!cl.worker_is_alive(WorkerId(0)));
+    assert_eq!(cl.pick_worker(100), Some(WorkerId(1)));
+}
+
+#[test]
+fn saturation_flips_exactly_at_thread_capacity() {
+    let mut cl = ClusterState::new(&[1_000], profiles(1), 2);
+    let id = warm(&mut cl, 0, 0);
+    let busy = HashMap::new();
+
+    // 1 of 2 threads: not saturated, still schedulable.
+    cl.occupy_thread(id, TimePoint::ZERO);
+    {
+        let ctx = PolicyCtx::new(TimePoint::ZERO, &cl, &busy);
+        assert_eq!(ctx.saturated_count(FunctionId(0)), 0);
+    }
+    assert_eq!(cl.pick_available(FunctionId(0)), Some(id));
+
+    // 2 of 2 threads: saturated, invisible to the free-thread pool.
+    cl.occupy_thread(id, TimePoint::ZERO);
+    {
+        let ctx = PolicyCtx::new(TimePoint::ZERO, &cl, &busy);
+        assert_eq!(ctx.saturated_count(FunctionId(0)), 1);
+        let ids: Vec<ContainerId> = ctx.saturated_iter(FunctionId(0)).map(|c| c.id).collect();
+        assert_eq!(ids, vec![id]);
+    }
+    assert_eq!(cl.pick_available(FunctionId(0)), None);
+
+    // Releasing one thread crosses back below the boundary.
+    cl.release_thread(id);
+    {
+        let ctx = PolicyCtx::new(TimePoint::ZERO, &cl, &busy);
+        assert_eq!(ctx.saturated_count(FunctionId(0)), 0);
+    }
+    assert_eq!(cl.pick_available(FunctionId(0)), Some(id));
+}
+
+#[test]
+fn saturated_views_agree_between_vec_and_iter_flavors() {
+    let mut cl = ClusterState::new(&[2_000], profiles(2), 1);
+    let a = warm(&mut cl, 0, 0);
+    let _idle = warm(&mut cl, 0, 0);
+    let b = warm(&mut cl, 0, 0);
+    cl.occupy_thread(a, TimePoint::ZERO);
+    cl.occupy_thread(b, TimePoint::ZERO);
+    let busy = HashMap::new();
+    let ctx = PolicyCtx::new(TimePoint::ZERO, &cl, &busy);
+    let from_vec: Vec<ContainerId> = ctx
+        .saturated_containers(FunctionId(0))
+        .iter()
+        .map(|c| c.id)
+        .collect();
+    let from_iter: Vec<ContainerId> = ctx.saturated_iter(FunctionId(0)).map(|c| c.id).collect();
+    assert_eq!(from_vec, from_iter);
+    assert_eq!(from_vec, vec![a, b]);
+    // A function with no containers at all yields empty views.
+    assert!(ctx.saturated_containers(FunctionId(1)).is_empty());
+    assert_eq!(ctx.saturated_iter(FunctionId(1)).count(), 0);
+}

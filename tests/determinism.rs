@@ -92,6 +92,69 @@ fn different_fault_seeds_actually_differ() {
     assert_ne!(a, b, "the fault seed must steer the run");
 }
 
+/// FNV-1a 64-bit over raw file bytes — stable, dependency-free content
+/// fingerprint for the golden assertions below.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Pinned content hashes of every CSV the `fig12`, `sweep`, and
+/// `faults` experiments emit at `Scale::Tiny`, captured on the
+/// pre-refactor (naive linear-scan) engine. The indexed hot paths must
+/// reproduce these outputs byte-for-byte: any divergence here means the
+/// refactor changed a scheduling or eviction decision somewhere.
+const CSV_GOLDENS: &[(&str, u64)] = &[
+    ("fig12_overhead_azure.csv", 0x3150e1b8345750e2),
+    ("fig12_breakdown_azure.csv", 0x24189be3962b5401),
+    ("fig12_overhead_fc.csv", 0x9fbcd39382015b48),
+    ("fig12_breakdown_fc.csv", 0xf2ed68933bc5e419),
+    ("sweep.csv", 0xf53faaada3036598),
+    ("faults.csv", 0x16608f9464ab3ca4),
+];
+
+#[test]
+fn experiment_csv_outputs_match_pinned_goldens() {
+    let out = std::env::temp_dir().join(format!("cidre-goldens-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    cidre_bench::set_quiet(true);
+    let mut ctx = cidre_bench::ExpCtx::tiny();
+    ctx.out_dir = out.clone();
+    ctx.jobs = 2;
+    // Pin the sweep inputs explicitly so stray SWEEP_* environment
+    // variables cannot perturb the golden outputs.
+    ctx.sweep = cidre_bench::SweepOverrides {
+        policies: Some(vec!["faascache".into(), "cidre-bss".into(), "cidre".into()]),
+        caches_gb: Some(vec![80, 100, 120]),
+        workload: Some(cidre_bench::Workload::Azure),
+    };
+    for exp in ["fig12", "sweep", "faults"] {
+        assert!(
+            cidre_bench::run_by_name(exp, &ctx),
+            "unknown experiment {exp}"
+        );
+    }
+    let mut failures = Vec::new();
+    for &(name, want) in CSV_GOLDENS {
+        let bytes = std::fs::read(out.join(name))
+            .unwrap_or_else(|e| panic!("experiment did not write {name}: {e}"));
+        let got = fnv1a64(&bytes);
+        if got != want {
+            failures.push(format!("  {name}: got {got:#018x}, want {want:#018x}"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&out);
+    assert!(
+        failures.is_empty(),
+        "experiment CSVs diverged from pre-refactor goldens:\n{}",
+        failures.join("\n")
+    );
+}
+
 #[test]
 fn fc_workload_is_deterministic_too() {
     let config = SimConfig::default().workers_mb(vec![2_048]);

@@ -1,0 +1,172 @@
+//! Differential test oracle for the indexed hot paths.
+//!
+//! The simulator ships two implementations of every scheduling/eviction
+//! scan: the indexed structures (`ScanMode::Indexed`, the default) and
+//! the retained naive scans (`ScanMode::Reference`, the oracle). Random
+//! workloads through both must produce byte-identical reports — any
+//! divergence is a bug in the index maintenance, and the testkit runner
+//! shrinks it to a minimal sequence automatically.
+//!
+//! Policies are chosen to cover every [`cidre::sim::PriorityDeps`]
+//! class: frozen per-container priorities (LRU, TTL, GreedyDual — the
+//! cross-round lazy-deletion heap), monotone function-frequency
+//! priorities (LFU, vanilla FaasCache), and volatile priorities
+//! (FaasCache-C, CIDRE — per-round heapify only).
+
+use cidre::core::{cidre_stack, CidreConfig};
+use cidre::policies::{
+    faascache_stack, GdsfKeepAlive, GreedyDualKeepAlive, LfuKeepAlive, TtlKeepAlive,
+};
+use cidre::sim::{
+    baseline_lru_stack, run, AlwaysCold, FaultPlan, PolicyStack, ScanMode, SimConfig, WorkerId,
+};
+use cidre::trace::{FunctionId, FunctionProfile, Invocation, TimeDelta, TimePoint, Trace};
+use faas_testkit::{Checker, Gen};
+
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(32).regressions_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/equivalence.testkit-regressions"
+    ))
+}
+
+/// A random trace small enough to shrink but hot enough to trigger
+/// REPLACE rounds on the tight clusters below.
+fn arb_trace(g: &mut Gen) -> Trace {
+    let fns = g.vec(1..6, |g| (g.u32(64..1024), g.u64(10..2_000)));
+    let invs = g.vec(1..100, |g| {
+        (g.usize(0..6), g.u64(0..60_000), g.u64(1..3_000))
+    });
+    let profiles: Vec<FunctionProfile> = fns
+        .iter()
+        .enumerate()
+        .map(|(i, &(mem, cold))| {
+            FunctionProfile::new(
+                FunctionId(i as u32),
+                format!("f{i}"),
+                mem,
+                TimeDelta::from_millis(cold),
+            )
+        })
+        .collect();
+    let n = profiles.len();
+    let invocations: Vec<Invocation> = invs
+        .into_iter()
+        .map(|(f, at, exec)| Invocation {
+            func: FunctionId((f % n) as u32),
+            arrival: TimePoint::from_millis(at),
+            exec: TimeDelta::from_millis(exec),
+        })
+        .collect();
+    Trace::new(profiles, invocations).expect("constructed consistently")
+}
+
+/// A random cluster shape tight enough that evictions are routine.
+fn arb_config(g: &mut Gen) -> SimConfig {
+    let workers = g.vec(1..4, |g| g.u64(1_100..4_000));
+    let threads = g.u32(1..4);
+    SimConfig::default()
+        .workers_mb(workers)
+        .container_threads(threads)
+}
+
+/// Every policy family, keyed by priority-dependence class. Fresh
+/// stacks per run: policies carry mutable state (clocks, bases).
+fn stacks() -> Vec<(&'static str, fn() -> PolicyStack)> {
+    vec![
+        ("lru", baseline_lru_stack),
+        ("ttl", || {
+            PolicyStack::new(
+                Box::new(TtlKeepAlive::paper_default()),
+                Box::new(AlwaysCold),
+            )
+        }),
+        ("greedydual", || {
+            PolicyStack::new(Box::new(GreedyDualKeepAlive::new()), Box::new(AlwaysCold))
+        }),
+        ("lfu", || {
+            PolicyStack::new(Box::new(LfuKeepAlive), Box::new(AlwaysCold))
+        }),
+        ("faascache", faascache_stack),
+        ("faascache-c", || {
+            PolicyStack::new(Box::new(GdsfKeepAlive::faascache_c()), Box::new(AlwaysCold))
+        }),
+        ("cidre", || cidre_stack(CidreConfig::default())),
+    ]
+}
+
+/// Runs `trace` under both scan modes and demands identical reports.
+fn assert_scans_agree(trace: &Trace, config: &SimConfig) {
+    for (label, mk) in stacks() {
+        let indexed = run(trace, &config.clone().scan_mode(ScanMode::Indexed), mk());
+        let reference = run(trace, &config.clone().scan_mode(ScanMode::Reference), mk());
+        assert_eq!(
+            format!("{indexed:?}"),
+            format!("{reference:?}"),
+            "{label}: indexed and reference scans diverged"
+        );
+    }
+}
+
+#[test]
+fn indexed_and_reference_scans_agree_on_random_workloads() {
+    checker("indexed_and_reference_scans_agree_on_random_workloads").run(|g| {
+        let trace = arb_trace(g);
+        let config = arb_config(g);
+        assert_scans_agree(&trace, &config);
+    });
+}
+
+#[test]
+fn indexed_and_reference_scans_agree_under_faults() {
+    checker("indexed_and_reference_scans_agree_under_faults").run(|g| {
+        let trace = arb_trace(g);
+        let mut config = arb_config(g);
+        // Two workers minimum so a crash cannot strand requests.
+        if config.workers_mb.len() < 2 {
+            let mb = config.workers_mb[0];
+            config = config.workers_mb(vec![mb, mb]);
+        }
+        let mut plan = FaultPlan::none()
+            .seed(g.u64(0..1 << 32))
+            .provision_failures(g.f64(0.0..0.4))
+            .retry_backoff(TimeDelta::from_millis(20), TimeDelta::from_millis(500));
+        if g.bool(0.5) {
+            let worker = g.usize(0..config.workers_mb.len());
+            plan = plan.crash_worker(
+                TimePoint::from_millis(g.u64(0..45_000)),
+                WorkerId(worker as u16),
+            );
+        }
+        let config = config.faults(plan);
+        assert_scans_agree(&trace, &config);
+    });
+}
+
+/// A tiny pinned scenario that forces multi-victim REPLACE rounds: one
+/// 1100 MB worker, three resident 400 MB functions, and an incoming
+/// 900 MB function that needs two victims at once.
+#[test]
+fn multi_victim_replace_agrees() {
+    let profiles = vec![
+        FunctionProfile::new(FunctionId(0), "a", 400, TimeDelta::from_millis(150)),
+        FunctionProfile::new(FunctionId(1), "b", 400, TimeDelta::from_millis(250)),
+        FunctionProfile::new(FunctionId(2), "big", 900, TimeDelta::from_millis(500)),
+    ];
+    let mut invocations = Vec::new();
+    for i in 0..4u64 {
+        invocations.push(Invocation {
+            func: FunctionId((i % 2) as u32),
+            arrival: TimePoint::from_millis(i * 300),
+            exec: TimeDelta::from_millis(80),
+        });
+    }
+    invocations.push(Invocation {
+        func: FunctionId(2),
+        arrival: TimePoint::from_millis(5_000),
+        exec: TimeDelta::from_millis(100),
+    });
+    let trace = Trace::new(profiles, invocations).expect("valid");
+    let config = SimConfig::default().workers_mb(vec![1_100]);
+    assert_scans_agree(&trace, &config);
+}
