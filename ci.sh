@@ -13,6 +13,14 @@ echo "== lint: clippy (offline, all warnings deny) =="
 # from build/test; lints still cover it.
 cargo clippy --offline --workspace -- -D warnings
 
+echo "== lint: cidre-lint (determinism & safety ratchet) =="
+# In-tree static analyzer (crates/lint): W1 wall-clock, O1 unordered
+# hash iteration, F1 partial_cmp, C1 lossy time/mem casts, E1 ambient
+# entropy, U1 bare unwrap. Fails on any violation not accepted by
+# lint-baseline.toml, on a stale baseline, and on any unjustified
+# `lint:allow`. See DESIGN.md §8.
+cargo run -q --release --offline -p cidre-lint
+
 echo "== tier 1: release build (offline) =="
 cargo build --release --offline
 

@@ -64,7 +64,7 @@ impl CipKeepAlive {
     fn compute_priority(&self, c: &ContainerInfo, ctx: &PolicyCtx<'_>) -> f64 {
         let freq = ctx.freq_per_minute(c.func);
         let cost_ms = c.cold_start.as_millis_f64();
-        let size_mb = c.mem_mb.max(1) as f64;
+        let size_mb = f64::from(c.mem_mb.max(1));
         let k = ctx.warm_count(c.func).max(1) as f64;
         self.clock(c.id) + freq * cost_ms / (size_mb * k)
     }

@@ -21,7 +21,11 @@ use std::hash::Hash;
 /// Construction panics on NaN with the same message the reference
 /// sort used (`"priorities must not be NaN"`), so swapping a sort for
 /// an indexed structure cannot silently change NaN handling.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Ordering and equality both go through [`f64::total_cmp`]
+/// (cidre-lint rule F1): a total order with no unwrap, and — unlike a
+/// derived `PartialEq` — consistent with itself on `-0.0` vs `0.0`.
+#[derive(Debug, Clone, Copy)]
 pub struct OrdF64(f64);
 
 impl OrdF64 {
@@ -37,6 +41,12 @@ impl OrdF64 {
     }
 }
 
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
 impl Eq for OrdF64 {}
 
 impl PartialOrd for OrdF64 {
@@ -47,10 +57,7 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Non-NaN is guaranteed by the constructor.
-        self.0
-            .partial_cmp(&other.0)
-            .expect("priorities must not be NaN")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -509,15 +516,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ordf64_orders_like_partial_cmp() {
+    fn ordf64_orders_like_total_cmp() {
         let mut v = vec![3.0, -1.0, 0.0, 2.5, -0.0];
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         let mut w: Vec<OrdF64> = vec![3.0, -1.0, 0.0, 2.5, -0.0]
             .into_iter()
             .map(OrdF64::new)
             .collect();
         w.sort();
         assert_eq!(v, w.into_iter().map(OrdF64::get).collect::<Vec<_>>());
+        // total_cmp distinguishes the zeros (-0.0 < 0.0) and Eq agrees
+        // with Ord, unlike f64's PartialEq where -0.0 == 0.0.
+        assert!(v[1].is_sign_negative() && v[2].is_sign_positive());
+        assert_ne!(OrdF64::new(-0.0), OrdF64::new(0.0));
     }
 
     #[test]
@@ -663,7 +674,7 @@ mod tests {
             idx.enter(0, c, p);
         }
         let mut want = entries.clone();
-        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut got = Vec::new();
         while let Some(v) = idx.pop_min(0, |_| None) {
             got.push(v);
@@ -714,7 +725,7 @@ mod tests {
             .into_iter()
             .collect();
         let mut want: Vec<(f64, u64)> = fresh.iter().map(|(&c, &p)| (p, c)).collect();
-        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut got = Vec::new();
         while let Some(v) = idx.pop_min(0, |c| fresh.get(&c).copied()) {
             got.push(v);
@@ -738,7 +749,7 @@ mod tests {
     fn round_heap_matches_reference_sort() {
         let entries: Vec<(f64, u64)> = vec![(3.0, 2), (3.0, 1), (-1.0, 5), (0.0, 0), (2.0, 4)];
         let mut want = entries.clone();
-        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut heap = RoundHeap::from_entries(entries);
         let mut got = Vec::new();
         while let Some(v) = heap.pop() {

@@ -1,0 +1,24 @@
+//! C1 fixture: lossy casts on time/memory arithmetic.
+//! Scanned by `tests/corpus.rs` as `crates/sim/src/fixture.rs`.
+
+fn positive_time(arrival_micros: u128) -> usize {
+    arrival_micros as usize
+}
+
+fn positive_mem(mem_mb: u32) -> f64 {
+    mem_mb as f64
+}
+
+fn suppressed(duration_secs: f64) -> u64 {
+    // lint:allow(C1): fixture shows a justified allow
+    duration_secs as u64
+}
+
+// lint:allow(C1)
+fn bare_allow_does_not_suppress(idle_ms: u128) -> u64 {
+    idle_ms as u64
+}
+
+fn unmarked_cast_is_fine(n: u32) -> u64 {
+    n as u64
+}

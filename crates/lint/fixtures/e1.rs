@@ -1,0 +1,19 @@
+//! E1 fixture: ambient entropy in sim paths.
+//! Scanned by `tests/corpus.rs` as sim source.
+
+use std::collections::hash_map::RandomState;
+use std::hash::DefaultHasher;
+
+fn positive_env() -> Option<String> {
+    std::env::var("CIDRE_SEED").ok()
+}
+
+fn suppressed() -> Option<String> {
+    // lint:allow(E1): fixture shows a justified allow
+    std::env::var("CIDRE_SEED").ok()
+}
+
+fn bare_allow_does_not_suppress() -> Option<String> {
+    // lint:allow(E1)
+    std::env::var("CIDRE_SEED").ok()
+}

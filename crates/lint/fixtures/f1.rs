@@ -1,0 +1,31 @@
+//! F1 fixture: NaN-unsafe float comparison via `partial_cmp`.
+//! Scanned by `tests/corpus.rs` as `crates/sim/src/fixture.rs`.
+
+fn positive(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn suppressed(v: &mut Vec<f64>) {
+    // lint:allow(F1): fixture shows a justified allow
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+// lint:allow(F1)
+fn bare_allow_does_not_suppress(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}
+
+struct Wrapper(f64);
+
+impl PartialOrd for Wrapper {
+    // Definitions are exempt; only call sites fire.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+impl PartialEq for Wrapper {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}

@@ -1,0 +1,35 @@
+//! O1 fixture: unordered hash-collection iteration on a report path.
+//! Scanned by `tests/corpus.rs` as `crates/sim/src/fixture.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+struct Report {
+    per_fn: HashMap<u32, u64>,
+}
+
+fn positive_method(r: &Report) -> Vec<u64> {
+    r.per_fn.values().copied().collect()
+}
+
+fn positive_for_loop(r: &Report) {
+    for (_k, _v) in &r.per_fn {}
+}
+
+fn positive_local() {
+    let set: HashSet<u32> = HashSet::new();
+    for _x in &set {}
+}
+
+fn suppressed(r: &Report) -> u64 {
+    // lint:allow(O1): order-independent sum, iteration order is moot
+    r.per_fn.values().sum()
+}
+
+// lint:allow(O1)
+fn bare_allow_does_not_suppress(r: &Report) -> usize {
+    r.per_fn.keys().count()
+}
+
+fn membership_is_fine(r: &Report) -> bool {
+    r.per_fn.contains_key(&3)
+}

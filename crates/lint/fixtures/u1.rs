@@ -1,0 +1,19 @@
+//! U1 fixture: `unwrap()` in pool/engine hot paths.
+//! Scanned by `tests/corpus.rs` as `crates/sim/src/fixture.rs`.
+
+fn positive(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+fn suppressed(o: Option<u32>) -> u32 {
+    o.unwrap() // lint:allow(U1): fixture shows a justified allow
+}
+
+// lint:allow(U1)
+fn bare_allow_does_not_suppress(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+fn expect_is_fine(o: Option<u32>) -> u32 {
+    o.expect("fixture invariant: value present")
+}

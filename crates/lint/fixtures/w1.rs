@@ -1,0 +1,21 @@
+//! W1 fixture: wall-clock reads outside the allowed zones.
+//! Scanned by `tests/corpus.rs` as sim source.
+
+fn positive() {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+}
+
+fn suppressed_trailing() {
+    let _t = std::time::Instant::now(); // lint:allow(W1): fixture shows a justified trailing allow
+}
+
+fn suppressed_above() {
+    // lint:allow(W1): fixture shows a justified comment-above allow
+    let _t = std::time::Instant::now();
+}
+
+fn bare_allow_does_not_suppress() {
+    // lint:allow(W1)
+    let _t = std::time::Instant::now();
+}

@@ -1,0 +1,167 @@
+//! The ratchet baseline: committed per-(rule, crate) violation counts.
+//!
+//! `lint-baseline.toml` pins the number of *accepted pre-existing*
+//! violations. The gate demands exact equality with the live scan:
+//!
+//! * live > baseline — a new violation crept in: **fail**, fix it or
+//!   justify it with `lint:allow`;
+//! * live < baseline — someone fixed a violation but left the baseline
+//!   loose: **fail**, run `cidre-lint --write-baseline` to ratchet
+//!   down. This is what makes the ratchet one-way: counts can never
+//!   silently climb back up to a stale ceiling.
+//!
+//! The format is a hand-rolled TOML subset (tables + `key = integer`),
+//! parsed here without external crates.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Rule;
+
+/// Per-(rule, crate) accepted violation counts. `BTreeMap` keeps the
+/// serialized form canonical, so regenerating the baseline on an
+/// unchanged tree is byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `counts[rule][crate] = accepted violations`.
+    pub counts: BTreeMap<Rule, BTreeMap<String, usize>>,
+}
+
+impl Baseline {
+    /// Builds a baseline from live scan counts, dropping zero entries.
+    pub fn from_counts(counts: &BTreeMap<(Rule, String), usize>) -> Self {
+        let mut b = Baseline::default();
+        for (&(rule, ref krate), &n) in counts {
+            if n > 0 {
+                b.counts.entry(rule).or_default().insert(krate.clone(), n);
+            }
+        }
+        b
+    }
+
+    /// The accepted count for `(rule, crate)`; absent entries are 0.
+    pub fn get(&self, rule: Rule, krate: &str) -> usize {
+        self.counts
+            .get(&rule)
+            .and_then(|m| m.get(krate))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Serializes to the canonical committed form.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# cidre-lint ratchet baseline — accepted pre-existing violations\n\
+             # per (rule, crate). Counts may only go DOWN: new violations fail\n\
+             # CI, and fixing one requires `cidre-lint --write-baseline` so the\n\
+             # ceiling ratchets with you. See DESIGN.md §8.\n",
+        );
+        for (rule, crates) in &self.counts {
+            if crates.is_empty() {
+                continue;
+            }
+            out.push('\n');
+            out.push('[');
+            out.push_str(rule.id());
+            out.push_str("]\n");
+            for (krate, n) in crates {
+                out.push_str(&format!("{krate} = {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses the committed form. Returns `Err` with a description on
+    /// any malformed line so a hand-edited baseline fails loudly.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut b = Baseline::default();
+        let mut current: Option<Rule> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let rule = Rule::parse(name.trim())
+                    .ok_or_else(|| format!("line {}: unknown rule table [{name}]", i + 1))?;
+                if rule == Rule::A0 {
+                    return Err(format!(
+                        "line {}: A0 (unjustified allow) can never be baselined",
+                        i + 1
+                    ));
+                }
+                current = Some(rule);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `crate = count`", i + 1));
+            };
+            let rule =
+                current.ok_or_else(|| format!("line {}: entry before any [RULE] table", i + 1))?;
+            let krate = key.trim();
+            if krate.is_empty()
+                || !krate
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+            {
+                return Err(format!("line {}: bad crate key `{krate}`", i + 1));
+            }
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad count `{}`", i + 1, value.trim()))?;
+            if n == 0 {
+                return Err(format!(
+                    "line {}: zero entries must be omitted (canonical form)",
+                    i + 1
+                ));
+            }
+            let prev = b
+                .counts
+                .entry(rule)
+                .or_default()
+                .insert(krate.to_string(), n);
+            if prev.is_some() {
+                return Err(format!("line {}: duplicate entry for `{krate}`", i + 1));
+            }
+        }
+        Ok(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_canonical() {
+        let mut counts = BTreeMap::new();
+        counts.insert((Rule::O1, "sim".to_string()), 2);
+        counts.insert((Rule::O1, "trace".to_string()), 3);
+        counts.insert((Rule::C1, "metrics".to_string()), 1);
+        counts.insert((Rule::F1, "bench".to_string()), 0); // dropped
+        let b = Baseline::from_counts(&counts);
+        let text = b.to_toml();
+        let again = Baseline::parse(&text).expect("canonical form parses");
+        assert_eq!(b, again);
+        assert_eq!(again.to_toml(), text, "serialization is a fixed point");
+        assert_eq!(b.get(Rule::O1, "sim"), 2);
+        assert_eq!(b.get(Rule::F1, "bench"), 0);
+        assert_eq!(b.get(Rule::W1, "nowhere"), 0);
+    }
+
+    #[test]
+    fn rejects_a0_zero_and_garbage() {
+        assert!(Baseline::parse("[A0]\nsim = 1\n").is_err());
+        assert!(Baseline::parse("[O1]\nsim = 0\n").is_err());
+        assert!(Baseline::parse("[O1]\nsim == 1\n").is_err());
+        assert!(Baseline::parse("sim = 1\n").is_err(), "entry before table");
+        assert!(Baseline::parse("[Z9]\n").is_err(), "unknown rule");
+        assert!(Baseline::parse("[O1]\nsim = 1\nsim = 2\n").is_err(), "dup");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let b = Baseline::parse("# header\n\n[U1]\nfaas-core = 4\n").expect("parses");
+        assert_eq!(b.get(Rule::U1, "faas-core"), 4);
+    }
+}

@@ -1,0 +1,31 @@
+//! The committed `lint-baseline.toml` must exactly match a live scan.
+//!
+//! This is the ratchet's anti-drift guarantee as a plain `cargo test`:
+//! a change that introduces a violation — or fixes one without running
+//! `cidre-lint --write-baseline` — fails here even if CI's lint step is
+//! skipped.
+
+use std::path::Path;
+
+use cidre_lint::{check_gate, scan_workspace, Baseline};
+
+#[test]
+fn committed_baseline_matches_live_scan() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is committed at the workspace root");
+    let baseline = Baseline::parse(&text).expect("committed baseline parses");
+    let result = scan_workspace(&root).expect("workspace scan succeeds");
+    let gate = check_gate(&result, &baseline);
+    assert_eq!(gate.bad_allows, 0, "unjustified lint:allow in the tree");
+    assert!(
+        gate.new_violations.is_empty(),
+        "new violations vs committed baseline: {:?}",
+        gate.new_violations
+    );
+    assert!(
+        gate.stale_entries.is_empty(),
+        "baseline is stale (run `cargo run -p cidre-lint -- --write-baseline`): {:?}",
+        gate.stale_entries
+    );
+}

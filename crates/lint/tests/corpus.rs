@@ -1,0 +1,103 @@
+//! Self-test over the fixture corpus in `fixtures/`.
+//!
+//! Each fixture holds, for one rule: positive cases that must fire,
+//! justified `lint:allow` cases that must be suppressed, and a *bare*
+//! allow that must both report `A0` and fail to suppress. The corpus is
+//! excluded from workspace scans (`scan::skip_dir`), so these files can
+//! be violations on purpose without touching the ratchet baseline.
+
+use std::path::Path;
+
+use cidre_lint::{analyze_file, FileContext, FileKind, Rule};
+
+/// Analyzes one fixture under a caller-chosen crate context (rules are
+/// crate-scoped, so each fixture picks a crate where only its own rule
+/// family fires).
+fn run(fixture: &str, crate_name: &str) -> Vec<(Rule, u32)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(fixture);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    let ctx = FileContext {
+        crate_name: crate_name.to_string(),
+        rel_path: format!("crates/{crate_name}/src/fixture.rs"),
+        file_kind: FileKind::Source,
+    };
+    analyze_file(&ctx, &src)
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+fn count(v: &[(Rule, u32)], rule: Rule) -> usize {
+    v.iter().filter(|(r, _)| *r == rule).count()
+}
+
+#[test]
+fn w1_corpus() {
+    let v = run("w1.rs", "sim");
+    // Two positives, one un-suppressed behind a bare allow; the two
+    // justified allows (trailing + comment-above) are silent.
+    assert_eq!(count(&v, Rule::W1), 3, "{v:?}");
+    assert_eq!(count(&v, Rule::A0), 1, "{v:?}");
+    assert_eq!(v.len(), 4, "no other rule may fire: {v:?}");
+}
+
+#[test]
+fn o1_corpus() {
+    let v = run("o1.rs", "sim");
+    // values() call, for-loop over a field, for-loop over a local
+    // HashSet, and the keys() call behind the bare allow.
+    assert_eq!(count(&v, Rule::O1), 4, "{v:?}");
+    assert_eq!(count(&v, Rule::A0), 1, "{v:?}");
+    assert_eq!(v.len(), 5, "{v:?}");
+}
+
+#[test]
+fn f1_corpus() {
+    // Run as `metrics` so the unwrap in the positive case does not also
+    // trip U1 (scoped to faas-core/sim).
+    let v = run("f1.rs", "metrics");
+    assert_eq!(count(&v, Rule::F1), 2, "{v:?}");
+    assert_eq!(count(&v, Rule::A0), 1, "{v:?}");
+    assert_eq!(v.len(), 3, "{v:?}");
+}
+
+#[test]
+fn c1_corpus() {
+    let v = run("c1.rs", "trace");
+    // micros, mem_mb, and idle_ms casts; the secs cast is allowed, the
+    // unmarked `n as u64` never fires.
+    assert_eq!(count(&v, Rule::C1), 3, "{v:?}");
+    assert_eq!(count(&v, Rule::A0), 1, "{v:?}");
+    assert_eq!(v.len(), 4, "{v:?}");
+}
+
+#[test]
+fn e1_corpus() {
+    let v = run("e1.rs", "sim");
+    // RandomState + DefaultHasher imports, the positive env read, and
+    // the env read behind the bare allow.
+    assert_eq!(count(&v, Rule::E1), 4, "{v:?}");
+    assert_eq!(count(&v, Rule::A0), 1, "{v:?}");
+    assert_eq!(v.len(), 5, "{v:?}");
+}
+
+#[test]
+fn u1_corpus() {
+    let v = run("u1.rs", "faas-core");
+    assert_eq!(count(&v, Rule::U1), 2, "{v:?}");
+    assert_eq!(count(&v, Rule::A0), 1, "{v:?}");
+    assert_eq!(v.len(), 3, "{v:?}");
+}
+
+#[test]
+fn fixtures_are_silent_outside_their_scoped_crate() {
+    // The same source, classified into a crate outside the rule's
+    // scope, must not fire (W1/F1 apply everywhere and are exempt).
+    assert_eq!(count(&run("o1.rs", "testkit"), Rule::O1), 0);
+    assert_eq!(count(&run("c1.rs", "policies"), Rule::C1), 0);
+    assert_eq!(count(&run("e1.rs", "bench"), Rule::E1), 0);
+    assert_eq!(count(&run("u1.rs", "metrics"), Rule::U1), 0);
+}

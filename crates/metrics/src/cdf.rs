@@ -41,7 +41,7 @@ impl Cdf {
             sorted.iter().all(|v| !v.is_nan()),
             "NaN sample in CDF input"
         );
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("unreachable: NaN filtered above"));
+        sorted.sort_by(f64::total_cmp);
         Self { sorted }
     }
 
@@ -183,8 +183,7 @@ impl Extend<f64> for Cdf {
             self.sorted.iter().all(|v| !v.is_nan()),
             "NaN sample in CDF input"
         );
-        self.sorted
-            .sort_by(|a, b| a.partial_cmp(b).expect("unreachable: NaN filtered above"));
+        self.sorted.sort_by(f64::total_cmp);
     }
 }
 

@@ -20,8 +20,12 @@
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0, 100]");
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "NaN in percentile input"
+    );
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     percentile_of_sorted(&sorted, p)
 }
 

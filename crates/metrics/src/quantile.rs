@@ -77,8 +77,7 @@ impl P2Quantile {
             self.heights[self.count as usize] = value;
             self.count += 1;
             if self.count == 5 {
-                self.heights
-                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                self.heights.sort_by(f64::total_cmp);
             }
             return;
         }
@@ -155,7 +154,7 @@ impl P2Quantile {
             n if n < 5 => {
                 // Exact order statistic on the partial buffer.
                 let mut buf: Vec<f64> = self.heights[..n as usize].to_vec();
-                buf.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                buf.sort_by(f64::total_cmp);
                 Some(crate::percentile(&buf, self.q * 100.0))
             }
             _ => Some(self.heights[2]),

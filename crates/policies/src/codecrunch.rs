@@ -11,7 +11,7 @@
 //! heterogeneous servers degenerates on the paper's homogeneous testbed
 //! (§5.1) and is not modeled.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use faas_sim::{ContainerInfo, KeepAlive, PolicyCtx};
 use faas_trace::{FunctionId, TimeDelta, TimePoint};
@@ -38,7 +38,7 @@ const RETENTION_SECS: u64 = 600;
 /// ```
 #[derive(Debug, Default)]
 pub struct CodeCrunchKeepAlive {
-    compressed: HashMap<FunctionId, TimePoint>,
+    compressed: BTreeMap<FunctionId, TimePoint>,
 }
 
 impl CodeCrunchKeepAlive {

@@ -69,12 +69,12 @@ impl IceBreakerPrewarm {
     /// window pull the estimate sharply toward zero (treated as 0.2 to
     /// stay finite), mirroring the conservatism of IceBreaker's
     /// frequency-domain predictor.
-    fn predict(history: &VecDeque<u64>) -> f64 {
-        if history.is_empty() {
+    fn predict(window: &VecDeque<u64>) -> f64 {
+        if window.is_empty() {
             return 0.0;
         }
-        let inv_sum: f64 = history.iter().map(|&c| 1.0 / (c as f64).max(0.2)).sum();
-        history.len() as f64 / inv_sum
+        let inv_sum: f64 = window.iter().map(|&c| 1.0 / (c as f64).max(0.2)).sum();
+        window.len() as f64 / inv_sum
     }
 }
 

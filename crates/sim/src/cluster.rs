@@ -120,12 +120,12 @@ impl ClusterState {
     /// Panics if `worker_capacities_mb` is empty or `thread_capacity` is 0.
     pub fn new(
         worker_capacities_mb: &[u64],
-        profiles: impl IntoIterator<Item = FunctionProfile>,
+        profile_src: impl IntoIterator<Item = FunctionProfile>,
         thread_capacity: u32,
     ) -> Self {
         Self::with_placement(
             worker_capacities_mb,
-            profiles,
+            profile_src,
             thread_capacity,
             Placement::MaxFree,
         )
@@ -138,7 +138,7 @@ impl ClusterState {
     /// Panics if `worker_capacities_mb` is empty or `thread_capacity` is 0.
     pub fn with_placement(
         worker_capacities_mb: &[u64],
-        profiles: impl IntoIterator<Item = FunctionProfile>,
+        profile_src: impl IntoIterator<Item = FunctionProfile>,
         thread_capacity: u32,
         placement: Placement,
     ) -> Self {
@@ -160,7 +160,8 @@ impl ClusterState {
             })
             .collect::<Vec<_>>();
         let profiles: HashMap<FunctionId, FunctionProfile> =
-            profiles.into_iter().map(|p| (p.id, p)).collect();
+            profile_src.into_iter().map(|p| (p.id, p)).collect();
+        // lint:allow(O1): the keys are sorted immediately below.
         let mut function_ids: Vec<FunctionId> = profiles.keys().copied().collect();
         function_ids.sort_unstable();
         let mut free_list = WorkerFreeList::new();
@@ -220,9 +221,9 @@ impl ClusterState {
         self.profiles.get(&func).expect("unknown function profile")
     }
 
-    /// All function profiles.
+    /// All function profiles, in ascending [`FunctionId`] order.
     pub fn profiles(&self) -> impl Iterator<Item = &FunctionProfile> {
-        self.profiles.values()
+        self.function_ids.iter().map(|id| self.profile(*id))
     }
 
     /// Immutable view of a live container.
@@ -289,7 +290,7 @@ impl ClusterState {
     /// container even after evicting every idle container are never
     /// chosen; returns `None` when no worker can.
     pub fn pick_worker(&mut self, mem_mb: u32) -> Option<WorkerId> {
-        let need = mem_mb as u64;
+        let need = u64::from(mem_mb);
         match self.placement {
             Placement::MaxFree => match self.scan {
                 // The free-list holds exactly the alive workers, so the
@@ -360,12 +361,12 @@ impl ClusterState {
         let profile = self.profile(func).clone();
         let w = &mut self.workers[worker.0 as usize];
         assert!(
-            w.free_mb() >= profile.mem_mb as u64,
+            w.free_mb() >= u64::from(profile.mem_mb),
             "begin_provision without room: need {} MB, free {} MB",
             profile.mem_mb,
             w.free_mb()
         );
-        w.used_mb += profile.mem_mb as u64;
+        w.used_mb += u64::from(profile.mem_mb);
         self.sync_worker(worker);
         let id = ContainerId(self.next_container);
         self.next_container += 1;
@@ -410,7 +411,7 @@ impl ClusterState {
         rt.free_threads.insert(id);
         rt.free_pool.set(id, 0);
         rt.warm.insert(id);
-        let mem = self.containers[&id].mem_mb as u64;
+        let mem = u64::from(self.containers[&id].mem_mb);
         let w = &mut self.workers[worker.0 as usize];
         if w.idle.insert(id) {
             w.idle_mb += mem;
@@ -442,7 +443,7 @@ impl ClusterState {
             c.worker,
             c.threads_in_use,
             c.is_saturated(),
-            c.mem_mb as u64,
+            u64::from(c.mem_mb),
         );
         let rt = self.fn_runtime_mut(func);
         if saturated {
@@ -477,7 +478,7 @@ impl ClusterState {
             c.worker,
             c.threads_in_use,
             c.threads_in_use == 0,
-            c.mem_mb as u64,
+            u64::from(c.mem_mb),
         );
         let rt = self.fn_runtime_mut(func);
         rt.free_threads.insert(id);
@@ -518,9 +519,9 @@ impl ClusterState {
         rt.warm.remove(&id);
         let w = &mut self.workers[c.worker.0 as usize];
         if w.idle.remove(&id) {
-            w.idle_mb -= c.mem_mb as u64;
+            w.idle_mb -= u64::from(c.mem_mb);
         }
-        w.used_mb -= c.mem_mb as u64;
+        w.used_mb -= u64::from(c.mem_mb);
         self.sync_worker(c.worker);
         info
     }
@@ -568,7 +569,7 @@ impl ClusterState {
         let info = ContainerInfo::from(&c);
         self.provision_failures += 1;
         self.fn_runtime_mut(c.func).provisioning.remove(&id);
-        self.workers[c.worker.0 as usize].used_mb -= c.mem_mb as u64;
+        self.workers[c.worker.0 as usize].used_mb -= u64::from(c.mem_mb);
         self.sync_worker(c.worker);
         info
     }
@@ -599,15 +600,16 @@ impl ClusterState {
         rt.warm.remove(&id);
         let w = &mut self.workers[c.worker.0 as usize];
         if w.idle.remove(&id) {
-            w.idle_mb -= c.mem_mb as u64;
+            w.idle_mb -= u64::from(c.mem_mb);
         }
-        w.used_mb -= c.mem_mb as u64;
+        w.used_mb -= u64::from(c.mem_mb);
         self.sync_worker(c.worker);
         (info, queued)
     }
 
     /// Requests waiting across every function channel.
     pub fn total_pending(&self) -> usize {
+        // lint:allow(O1): an order-independent sum; iteration order is moot.
         self.fns.values().map(|rt| rt.pending.len()).sum()
     }
 
@@ -630,7 +632,7 @@ impl ClusterState {
                 .containers
                 .values()
                 .filter(|c| c.worker == w.id)
-                .map(|c| c.mem_mb as u64)
+                .map(|c| u64::from(c.mem_mb))
                 .sum();
             assert_eq!(
                 w.used_mb, sum,
@@ -647,7 +649,7 @@ impl ClusterState {
             let idle_sum: u64 = w
                 .idle
                 .iter()
-                .map(|id| self.containers[id].mem_mb as u64)
+                .map(|id| u64::from(self.containers[id].mem_mb))
                 .sum();
             assert_eq!(w.idle_mb, idle_sum, "worker {:?} idle_mb drifted", w.id);
             for id in &w.idle {
@@ -679,6 +681,7 @@ impl ClusterState {
             self.workers.iter().filter(|w| w.alive).count(),
             "free-list tracks a worker that is not alive"
         );
+        // lint:allow(O1): invariant checks; order only picks which panic fires.
         for (func, rt) in &self.fns {
             assert_eq!(
                 rt.free_pool.len(),

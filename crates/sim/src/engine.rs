@@ -20,7 +20,7 @@
 //!   a container freeing a thread → delayed warm start, provisioning
 //!   completing → cold start.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use faas_core::{EvictionIndex, RoundHeap};
 use faas_metrics::TimeSeries;
@@ -83,8 +83,9 @@ struct Simulation<'a> {
     attempts: HashMap<ContainerId, u32>,
     /// In-flight requests per container as `(rid, record index)` (fault
     /// runs only) — a worker crash voids those records and re-queues the
-    /// requests.
-    running: HashMap<ContainerId, Vec<(RequestId, usize)>>,
+    /// requests. `BTreeMap` so the crash-repair walk re-queues them in
+    /// container order, not hash order (cidre-lint rule O1).
+    running: BTreeMap<ContainerId, Vec<(RequestId, usize)>>,
     /// Arrival events processed so far (request-conservation invariant).
     arrived: u64,
     /// Lazy-deletion heap of eviction candidates per worker, maintained
@@ -102,7 +103,7 @@ impl<'a> Simulation<'a> {
         let max_worker = config.workers_mb.iter().copied().max().unwrap_or(0);
         for f in trace.functions() {
             assert!(
-                (f.mem_mb as u64) <= max_worker,
+                u64::from(f.mem_mb) <= max_worker,
                 "function {} ({} MB) exceeds the largest worker ({} MB)",
                 f.id,
                 f.mem_mb,
@@ -158,7 +159,7 @@ impl<'a> Simulation<'a> {
             faults: FaultState::new(config.faults.clone()),
             fault_active,
             attempts: HashMap::new(),
-            running: HashMap::new(),
+            running: BTreeMap::new(),
             arrived: 0,
             evict_index: EvictionIndex::new(),
             use_evict_index,
@@ -347,7 +348,7 @@ impl<'a> Simulation<'a> {
                 self.policies
                     .prewarm
                     .as_mut()
-                    .expect("checked")
+                    .expect("prewarm is Some: guarded by the is_some check above")
                     .on_tick(&ctx)
             };
             for func in wants {
@@ -578,14 +579,14 @@ impl<'a> Simulation<'a> {
         // on the chosen worker until the new container fits. Priorities
         // are computed once per replacement (the paper's lazily resorted
         // priority queue), not once per victim.
-        if self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+        if self.cluster.workers()[worker.0 as usize].free_mb() < u64::from(mem) {
             let mut evicted = Vec::new();
             if self.use_evict_index {
                 // Cross-round cached candidates: pop victims straight off
                 // the worker's lazy-deletion heap, re-validating each
                 // cached priority against a fresh evaluation at pop time
                 // (exact for non-volatile policies, see `PriorityDeps`).
-                while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                while self.cluster.workers()[worker.0 as usize].free_mb() < u64::from(mem) {
                     let popped = {
                         let cluster = &self.cluster;
                         let busy = &self.busy_until;
@@ -635,7 +636,7 @@ impl<'a> Simulation<'a> {
                     // O(n) heapify + O(victims log n) pops, identical
                     // order to the reference full sort.
                     let mut heap = RoundHeap::from_entries(candidates);
-                    while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                    while self.cluster.workers()[worker.0 as usize].free_mb() < u64::from(mem) {
                         let Some((_, victim)) = heap.pop() else {
                             self.deferred.push_back((func, speculative, attempt));
                             return;
@@ -646,7 +647,7 @@ impl<'a> Simulation<'a> {
                 ScanMode::Reference => {
                     let sorted = crate::reference::sorted_eviction_candidates(candidates);
                     let mut victims = sorted.into_iter();
-                    while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+                    while self.cluster.workers()[worker.0 as usize].free_mb() < u64::from(mem) {
                         let Some((_, victim)) = victims.next() else {
                             self.deferred.push_back((func, speculative, attempt));
                             return;

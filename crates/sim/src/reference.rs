@@ -60,6 +60,10 @@ pub fn pick_available(cluster: &ClusterState, func: FunctionId) -> Option<Contai
 pub fn sorted_eviction_candidates(
     mut candidates: Vec<(f64, ContainerId)>,
 ) -> Vec<(f64, ContainerId)> {
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("priorities must not be NaN"));
+    assert!(
+        candidates.iter().all(|(p, _)| !p.is_nan()),
+        "priorities must not be NaN"
+    );
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     candidates
 }

@@ -174,7 +174,7 @@ impl Harness {
             }
             per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
         }
-        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        per_iter_ns.sort_by(f64::total_cmp);
         let pct = |p: f64| {
             let idx = ((per_iter_ns.len() - 1) as f64 * p).round() as usize;
             per_iter_ns[idx]

@@ -240,7 +240,7 @@ impl SyntheticWorkload {
         if self.hot_functions_fast {
             // Function 0 is the most popular (Zipf rank 1): give it the
             // shortest execution median, and so on down the ranking.
-            medians_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite medians"));
+            medians_ms.sort_by(f64::total_cmp);
         }
 
         // Zipf rates normalised so the mean per-function rate is as asked.
@@ -281,7 +281,7 @@ impl SyntheticWorkload {
             .map(|i| {
                 let mem_mb = rng.weighted(self.mem_choices);
                 let jitter = 1.0 + (rng.f64() * 2.0 - 1.0) * self.cold_jitter;
-                let cold_ms = (mem_mb as f64 * self.cold_ms_per_mb * jitter).max(1.0);
+                let cold_ms = (f64::from(mem_mb) * self.cold_ms_per_mb * jitter).max(1.0);
                 FunctionProfile::new(
                     FunctionId(i as u32),
                     format!("{}-{}", self.name, i),
@@ -501,7 +501,7 @@ mod tests {
     fn cold_start_scales_with_memory() {
         let trace = azure(9).functions(100).minutes(1).build();
         for f in trace.functions() {
-            let per_mb = f.cold_start.as_millis_f64() / f.mem_mb as f64;
+            let per_mb = f.cold_start.as_millis_f64() / f64::from(f.mem_mb);
             // 1.5 ms/MB with ±20% jitter.
             assert!((1.1..=1.9).contains(&per_mb), "cold factor {per_mb}");
         }

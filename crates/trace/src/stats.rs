@@ -1,6 +1,6 @@
 //! Trace statistics reproducing Table 1 and Figures 2–3 of the paper.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use faas_metrics::{Cdf, Summary};
 
@@ -64,17 +64,23 @@ impl TraceStats {
             };
         }
         let duration_secs = trace.duration().as_secs_f64().max(1.0);
-        let buckets = duration_secs.ceil() as usize;
+        // Bucket boundaries are computed in integer microseconds: the
+        // float path (`as_secs_f64() as usize`) truncates through an
+        // f64 and was flagged by cidre-lint (C1).
+        let buckets = usize::try_from(trace.duration().as_micros().div_ceil(1_000_000).max(1))
+            .expect("trace duration in seconds fits usize");
         let mut reqs = vec![0u64; buckets];
         let mut gbs = vec![0f64; buckets];
         for inv in trace.invocations() {
-            let b = (inv.arrival.as_secs_f64() as usize).min(buckets - 1);
+            let b = usize::try_from(inv.arrival.as_micros() / 1_000_000)
+                .expect("arrival second fits usize")
+                .min(buckets - 1);
             reqs[b] += 1;
             let mem_mb = trace
                 .function(inv.func)
                 .expect("trace invariant: profile exists")
                 .mem_mb;
-            gbs[b] += mem_mb as f64 / 1024.0;
+            gbs[b] += f64::from(mem_mb) / 1024.0;
         }
         let rps: Summary = reqs.iter().map(|&r| r as f64).collect();
         let gbps: Summary = gbs.iter().copied().collect();
@@ -123,13 +129,19 @@ pub fn cold_exec_ratio_cdf(trace: &Trace, cold_scale: f64) -> Cdf {
 /// function"). Peak (rather than mean) captures the burst level a
 /// keep-alive policy must absorb; functions with no invocations are
 /// omitted.
+///
+/// The returned vector is ordered by ascending [`FunctionId`]. The
+/// previous implementation iterated `HashMap`s, so two identical traces
+/// could yield differently ordered vectors — harmless once inside a
+/// sorted [`Cdf`], but a nondeterminism hazard for any direct consumer
+/// (cidre-lint rule O1). `BTreeMap` pins the order end to end.
 pub fn per_function_peak_rpm(trace: &Trace) -> Vec<f64> {
-    let mut per_minute: HashMap<(FunctionId, u64), u64> = HashMap::new();
+    let mut per_minute: BTreeMap<(FunctionId, u64), u64> = BTreeMap::new();
     for inv in trace.invocations() {
         let minute = inv.arrival.as_micros() / 60_000_000;
         *per_minute.entry((inv.func, minute)).or_insert(0) += 1;
     }
-    let mut peaks: HashMap<FunctionId, u64> = HashMap::new();
+    let mut peaks: BTreeMap<FunctionId, u64> = BTreeMap::new();
     for ((f, _), count) in per_minute {
         let peak = peaks.entry(f).or_insert(0);
         *peak = (*peak).max(count);
@@ -147,7 +159,7 @@ pub fn concurrency_cdf(trace: &Trace) -> Cdf {
 /// functions at or above 25%, §2.6). Functions with fewer than two
 /// invocations are skipped.
 pub fn fraction_high_variance(trace: &Trace, threshold: f64) -> f64 {
-    let mut per_fn: HashMap<FunctionId, Summary> = HashMap::new();
+    let mut per_fn: BTreeMap<FunctionId, Summary> = BTreeMap::new();
     for inv in trace.invocations() {
         per_fn
             .entry(inv.func)

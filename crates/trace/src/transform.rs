@@ -1,6 +1,6 @@
 //! Trace transforms used by the paper's sensitivity studies.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::{FunctionId, Invocation, TimePoint, Trace};
 
@@ -66,7 +66,10 @@ pub fn scale_cold_start(trace: &Trace, factor: f64) -> Trace {
 /// Keeps only invocations of the given functions (and their profiles),
 /// the way the paper samples 330/220 functions from the full traces.
 pub fn sample_functions(trace: &Trace, keep: &[FunctionId]) -> Trace {
-    let keep: HashSet<FunctionId> = keep.iter().copied().collect();
+    // BTreeSet rather than HashSet: only membership is queried today,
+    // but a deterministic container keeps any future iteration over the
+    // kept set ordered for free (cidre-lint rule O1).
+    let keep: BTreeSet<FunctionId> = keep.iter().copied().collect();
     let (functions, invocations) = trace.clone().into_parts();
     let functions = functions
         .into_iter()

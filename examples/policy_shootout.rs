@@ -52,7 +52,7 @@ fn main() {
             report.wait_cdf().quantile(0.5),
         ));
     }
-    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"));
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     println!(
         "{:<14} {:>14} {:>8} {:>12}",

@@ -165,3 +165,50 @@ fn fc_workload_is_deterministic_too() {
     let b = run(&trace_b, &config, cidre_stack(CidreConfig::default()));
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }
+
+/// `per_function_peak_rpm` feeds the Fig. 3 concurrency CDF. Its output
+/// order is part of the contract — ascending `FunctionId`, pinned here
+/// with peaks chosen so id order differs from value order. The previous
+/// implementation iterated `HashMap`s, so this vector could legally
+/// come back shuffled between runs (cidre-lint rule O1).
+#[test]
+fn per_function_peak_rpm_is_ascending_id_order() {
+    use cidre::trace::{
+        stats::per_function_peak_rpm, FunctionId, FunctionProfile, Invocation, Trace,
+    };
+
+    let fs: Vec<FunctionProfile> = (0..3)
+        .map(|i| FunctionProfile::new(FunctionId(i), "f", 128, TimeDelta::from_millis(100)))
+        .collect();
+    // fn0: peak 3 (minute 0); fn1: peak 1; fn2: peak 2 (minute 1).
+    let arrivals: &[(u32, u64)] = &[
+        (0, 0),
+        (0, 5),
+        (0, 10),
+        (1, 0),
+        (2, 61_000),
+        (2, 62_000),
+        (0, 61_000),
+    ];
+    let invs = arrivals
+        .iter()
+        .map(|&(f, ms)| Invocation {
+            func: FunctionId(f),
+            arrival: TimePoint::from_millis(ms),
+            exec: TimeDelta::from_millis(1),
+        })
+        .collect();
+    let trace = Trace::new(fs, invs).expect("valid trace");
+
+    let peaks = per_function_peak_rpm(&trace);
+    assert_eq!(
+        peaks,
+        vec![3.0, 1.0, 2.0],
+        "peaks must come back in FunctionId order, not peak order"
+    );
+    assert_eq!(
+        peaks,
+        per_function_peak_rpm(&trace),
+        "recomputation must be order-stable"
+    );
+}
