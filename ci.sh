@@ -24,6 +24,13 @@ cargo run -q --release --offline -p cidre-lint
 echo "== tier 1: release build (offline) =="
 cargo build --release --offline
 
+echo "== tier 1: sharded oracle smoke (2 shards, offline) =="
+# Fast fail signal for the epoch-barrier protocol (DESIGN.md §9):
+# one pinned seed through all three engines at 2 shards, in release so
+# it finishes in seconds. The full randomized three-way oracle runs in
+# the debug suite below.
+cargo test -q --offline --release --test equivalence sharded_oracle_smoke_two_shards
+
 echo "== tier 1: tests (offline) =="
 # Workspace default-members exclude crates/live, whose wall-clock
 # fidelity tests are load-sensitive; everything else runs.
@@ -39,10 +46,13 @@ trap 'rm -f "$baseline"' EXIT
 cp BENCH_results.json "$baseline"
 BENCH_SMOKE=1 cargo bench --offline
 
-echo "== bench guard: large-N throughput =="
+echo "== bench guard: large-N throughput + sharded scaling =="
 # Fails on a >20% events/sec regression of replay/large_n vs the
-# committed baseline, or if the indexed scan drops below 2x the
-# retained reference scan.
+# committed baseline, if the indexed scan drops below 2x the retained
+# reference scan, or if the sharded scaling lane (scaling/shards_4 vs
+# scaling/shards_1) falls below its parallelism-aware floor — 2.5x on
+# >=4-CPU hosts, an overhead bound on narrower ones — or regresses
+# >20% vs its committed baseline.
 cargo run -q --release --offline -p cidre-bench --bin bench_guard -- \
   "$baseline" BENCH_results.json
 

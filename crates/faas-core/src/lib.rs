@@ -27,4 +27,6 @@
 
 pub mod pool;
 
-pub use pool::{EvictionIndex, FreeThreadPool, OrdF64, PendingQueue, RoundHeap, WorkerFreeList};
+pub use pool::{
+    kmerge_by_key, EvictionIndex, FreeThreadPool, OrdF64, PendingQueue, RoundHeap, WorkerFreeList,
+};

@@ -81,7 +81,7 @@ pub struct FnRuntime {
 /// Exposed to policies only through the read-only [`PolicyCtx`]. The
 /// mutating methods enforce the memory-accounting and state-set
 /// invariants and panic on misuse (they are internal to the engine).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ClusterState {
     workers: Vec<Worker>,
     containers: BTreeMap<ContainerId, Container>,
@@ -197,6 +197,22 @@ impl ClusterState {
     /// The configured hot-path implementation.
     pub fn scan(&self) -> ScanMode {
         self.scan
+    }
+
+    /// Pins the id the next [`ClusterState::begin_provision`] will
+    /// assign. The sharded engine owns a single global id counter and
+    /// aligns each shard's cluster before every provision so container
+    /// ids match the sequential engine's allocation order exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` would reuse an already-assigned id.
+    pub(crate) fn align_next_container(&mut self, id: u64) {
+        assert!(
+            id >= self.next_container,
+            "container id counter may only move forward"
+        );
+        self.next_container = id;
     }
 
     /// Resyncs the free-list entry for `worker` after a memory or
@@ -827,13 +843,42 @@ impl ClusterState {
 }
 
 /// Read-only view of the cluster passed to policy callbacks.
+///
+/// A context is backed by one of three scopes, chosen by the engine:
+/// the sequential cluster (the classic case), the sharded engine's
+/// merged cross-shard view (conductor operations at epoch barriers),
+/// or a recorded per-function snapshot (shard-local hooks replayed at a
+/// barrier — see DESIGN.md §9). Policies cannot observe which backing
+/// is active: every accessor answers identically, except that snapshot
+/// contexts only carry the hooked function's scalars and panic on
+/// topology queries (the shard-safety rule for policy authors).
 #[derive(Debug, Clone, Copy)]
 pub struct PolicyCtx<'a> {
     /// Current simulated time.
     pub now: TimePoint,
-    cluster: &'a ClusterState,
-    busy_until: &'a HashMap<ContainerId, Vec<TimePoint>>,
+    scope: CtxScope<'a>,
 }
+
+/// The backing store behind a [`PolicyCtx`].
+#[derive(Debug, Clone, Copy)]
+enum CtxScope<'a> {
+    /// The sequential engine's full cluster state.
+    Seq {
+        cluster: &'a ClusterState,
+        busy_until: &'a HashMap<ContainerId, Vec<TimePoint>>,
+    },
+    /// The sharded engine's merged view over all shard states
+    /// (conductor operations at epoch barriers).
+    Sharded(&'a crate::shard::MergedView<'a>),
+    /// Recorded scalars of one function at hook time (deferred
+    /// shard-local hook replay).
+    Snapshot(&'a crate::shard::HookSnapshot),
+}
+
+/// Panic message for topology queries on a snapshot context.
+const SNAPSHOT_SCOPE: &str = "policy hook read cluster topology from a shard-local hook \
+     (on_reuse/on_start/on_cold_outcome); only the hooked function's \
+     scalars are available there — see DESIGN.md §9 shard-safety rules";
 
 impl<'a> PolicyCtx<'a> {
     /// Creates a view at time `now`.
@@ -844,105 +889,182 @@ impl<'a> PolicyCtx<'a> {
     ) -> Self {
         Self {
             now,
-            cluster,
-            busy_until,
+            scope: CtxScope::Seq {
+                cluster,
+                busy_until,
+            },
+        }
+    }
+
+    /// Creates a view backed by the sharded engine's merged state.
+    pub(crate) fn sharded(now: TimePoint, view: &'a crate::shard::MergedView<'a>) -> Self {
+        Self {
+            now,
+            scope: CtxScope::Sharded(view),
+        }
+    }
+
+    /// Creates a view backed by a recorded hook snapshot.
+    pub(crate) fn snapshot(now: TimePoint, snap: &'a crate::shard::HookSnapshot) -> Self {
+        Self {
+            now,
+            scope: CtxScope::Snapshot(snap),
         }
     }
 
     /// The function profile (memory, cold-start latency).
-    pub fn profile(&self, func: FunctionId) -> &FunctionProfile {
-        self.cluster.profile(func)
+    pub fn profile(&self, func: FunctionId) -> &'a FunctionProfile {
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => cluster.profile(func),
+            CtxScope::Sharded(view) => view.profile(func),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 
     /// Snapshot of a live container.
     pub fn container(&self, id: ContainerId) -> Option<ContainerInfo> {
-        self.cluster.container(id).map(ContainerInfo::from)
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => cluster.container(id).map(ContainerInfo::from),
+            CtxScope::Sharded(view) => view.container(id).map(ContainerInfo::from),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 
     /// `|F(c)|`: warm containers (idle or busy) of the function.
     pub fn warm_count(&self, func: FunctionId) -> u32 {
-        self.cluster.warm_count(func)
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => cluster.warm_count(func),
+            CtxScope::Sharded(view) => view.cluster_of(func).warm_count(func),
+            CtxScope::Snapshot(snap) => snap.scalars(func).warm_count,
+        }
     }
 
     /// Containers currently provisioning for the function.
     pub fn provisioning_count(&self, func: FunctionId) -> u32 {
-        self.cluster
-            .fn_runtime(func)
-            .map(|rt| rt.provisioning.len() as u32)
-            .unwrap_or(0)
+        let from_cluster = |cl: &ClusterState| {
+            cl.fn_runtime(func)
+                .map(|rt| rt.provisioning.len() as u32)
+                .unwrap_or(0)
+        };
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => from_cluster(cluster),
+            CtxScope::Sharded(view) => from_cluster(view.cluster_of(func)),
+            CtxScope::Snapshot(snap) => snap.scalars(func).provisioning_count,
+        }
     }
 
     /// Requests waiting in the function's channel.
     pub fn pending_len(&self, func: FunctionId) -> usize {
-        self.cluster
-            .fn_runtime(func)
-            .map(|rt| rt.pending.len())
-            .unwrap_or(0)
+        let from_cluster =
+            |cl: &ClusterState| cl.fn_runtime(func).map(|rt| rt.pending.len()).unwrap_or(0);
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => from_cluster(cluster),
+            CtxScope::Sharded(view) => from_cluster(view.cluster_of(func)),
+            CtxScope::Snapshot(snap) => snap.scalars(func).pending_len,
+        }
     }
 
     /// Total invocations the function has ever received.
     pub fn invocations(&self, func: FunctionId) -> u64 {
-        self.cluster
-            .fn_runtime(func)
-            .map(|rt| rt.stats.invocations)
-            .unwrap_or(0)
+        let from_cluster = |cl: &ClusterState| {
+            cl.fn_runtime(func)
+                .map(|rt| rt.stats.invocations)
+                .unwrap_or(0)
+        };
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => from_cluster(cluster),
+            CtxScope::Sharded(view) => from_cluster(view.cluster_of(func)),
+            CtxScope::Snapshot(snap) => snap.scalars(func).invocations,
+        }
     }
 
     /// The paper's Eq. 4: average invocations per minute over the
     /// function's lifetime.
     pub fn freq_per_minute(&self, func: FunctionId) -> f64 {
-        self.cluster.freq_per_minute(func, self.now)
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => cluster.freq_per_minute(func, self.now),
+            CtxScope::Sharded(view) => view.cluster_of(func).freq_per_minute(func, self.now),
+            CtxScope::Snapshot(snap) => snap.scalars(func).freq_per_minute,
+        }
     }
 
     /// Warm, saturated containers of the function.
     pub fn saturated_containers(&self, func: FunctionId) -> Vec<ContainerInfo> {
-        self.cluster.saturated_containers(func)
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => cluster.saturated_containers(func),
+            CtxScope::Sharded(view) => view.cluster_of(func).saturated_containers(func),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 
     /// Iterates warm, saturated containers of the function without
     /// allocating a snapshot vector (preferred on hot decision paths).
-    pub fn saturated_iter(&self, func: FunctionId) -> impl Iterator<Item = &'a Container> + 'a {
-        self.cluster.saturated_iter(func)
+    pub fn saturated_iter(&self, func: FunctionId) -> Box<dyn Iterator<Item = &'a Container> + 'a> {
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => Box::new(cluster.saturated_iter(func)),
+            CtxScope::Sharded(view) => Box::new(view.cluster_of(func).saturated_iter(func)),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 
     /// Number of warm, saturated containers of the function.
     pub fn saturated_count(&self, func: FunctionId) -> usize {
-        self.cluster.saturated_iter(func).count()
+        self.saturated_iter(func).count()
     }
 
     /// Snapshot of every live container (used by prewarming baselines).
     pub fn all_containers(&self) -> Vec<ContainerInfo> {
-        self.cluster.all_containers()
+        self.all_iter().map(ContainerInfo::from).collect()
     }
 
     /// Iterates every live container in id order without allocating a
     /// snapshot vector (preferred on hot decision paths).
-    pub fn all_iter(&self) -> impl Iterator<Item = &'a Container> + 'a {
-        self.cluster.all_iter()
+    pub fn all_iter(&self) -> Box<dyn Iterator<Item = &'a Container> + 'a> {
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => Box::new(cluster.all_iter()),
+            CtxScope::Sharded(view) => Box::new(view.all_iter()),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 
     /// All deployed function ids, sorted (used by prewarming baselines to
     /// scan demand). Borrowed from the cluster's construction-time list —
     /// no per-call allocation.
     pub fn functions(&self) -> &'a [FunctionId] {
-        self.cluster.function_ids()
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => cluster.function_ids(),
+            CtxScope::Sharded(view) => view.functions(),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 
     /// Memory currently in use across the cluster, in MB.
     pub fn used_mb(&self) -> u64 {
-        self.cluster.used_mb()
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => cluster.used_mb(),
+            CtxScope::Sharded(view) => view.used_mb(),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 
     /// Total cluster memory capacity, in MB.
     pub fn capacity_mb(&self) -> u64 {
-        self.cluster.capacity_mb()
+        match self.scope {
+            CtxScope::Seq { cluster, .. } => cluster.capacity_mb(),
+            CtxScope::Sharded(view) => view.capacity_mb(),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 
     /// **Oracle only**: the remaining execution time of a busy container's
     /// earliest-finishing thread. Online policies must not use this; the
     /// Offline baseline does.
     pub fn oracle_remaining(&self, id: ContainerId) -> Option<TimeDelta> {
-        let ends = self.busy_until.get(&id)?;
+        let ends = match self.scope {
+            CtxScope::Seq { busy_until, .. } => busy_until.get(&id),
+            CtxScope::Sharded(view) => view.busy_until(id),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }?;
         let earliest = ends.iter().min()?;
         Some(earliest.saturating_since(self.now))
     }
@@ -950,24 +1072,43 @@ impl<'a> PolicyCtx<'a> {
     /// **Oracle only**: earliest completion among all busy threads of the
     /// function.
     pub fn oracle_earliest_free(&self, func: FunctionId) -> Option<TimePoint> {
-        self.cluster.oracle_earliest_free(func, self.busy_until)
+        match self.scope {
+            CtxScope::Seq {
+                cluster,
+                busy_until,
+            } => cluster.oracle_earliest_free(func, busy_until),
+            CtxScope::Sharded(view) => view.oracle_earliest_free(func),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 
     /// **Oracle only**: completion times of every busy thread of the
     /// function, sorted ascending. Lets the Offline baseline compute the
     /// wait a request at queue position `k` would experience.
     pub fn oracle_free_times(&self, func: FunctionId) -> Vec<TimePoint> {
-        let Some(rt) = self.cluster.fn_runtime(func) else {
-            return Vec::new();
+        let collect = |cluster: &ClusterState,
+                       busy: &dyn Fn(ContainerId) -> Option<&'a Vec<TimePoint>>|
+         -> Vec<TimePoint> {
+            let Some(rt) = cluster.fn_runtime(func) else {
+                return Vec::new();
+            };
+            let mut ends: Vec<TimePoint> = rt
+                .warm
+                .iter()
+                .filter_map(|cid| busy(*cid))
+                .flat_map(|ends| ends.iter().copied())
+                .collect();
+            ends.sort_unstable();
+            ends
         };
-        let mut ends: Vec<TimePoint> = rt
-            .warm
-            .iter()
-            .filter_map(|cid| self.busy_until.get(cid))
-            .flat_map(|ends| ends.iter().copied())
-            .collect();
-        ends.sort_unstable();
-        ends
+        match self.scope {
+            CtxScope::Seq {
+                cluster,
+                busy_until,
+            } => collect(cluster, &|cid| busy_until.get(&cid)),
+            CtxScope::Sharded(view) => collect(view.cluster_of(func), &|cid| view.busy_until(cid)),
+            CtxScope::Snapshot(_) => panic!("{SNAPSHOT_SCOPE}"),
+        }
     }
 }
 

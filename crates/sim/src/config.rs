@@ -69,6 +69,12 @@ pub struct SimConfig {
     /// default; [`ScanMode::Reference`] replays the original linear
     /// scans for differential testing).
     pub scan: ScanMode,
+    /// Number of simulation shards. `1` (the default) runs the original
+    /// single-threaded event loop unchanged; `> 1` partitions the
+    /// functions across that many worker threads synchronized by
+    /// conservative epoch barriers (DESIGN.md §9). Every report is
+    /// byte-identical across shard counts.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -91,6 +97,7 @@ impl SimConfig {
             placement: Placement::MaxFree,
             faults: FaultPlan::none(),
             scan: ScanMode::Indexed,
+            shards: 1,
         }
     }
 
@@ -143,6 +150,13 @@ impl SimConfig {
         self.scan = scan;
         self
     }
+
+    /// Sets the number of simulation shards (worker threads). `1` keeps
+    /// the sequential engine; any value is clamped to at least 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +198,13 @@ mod tests {
         assert_eq!(SimConfig::default().scan, ScanMode::Indexed);
         let cfg = SimConfig::default().scan_mode(ScanMode::Reference);
         assert_eq!(cfg.scan, ScanMode::Reference);
+    }
+
+    #[test]
+    fn shards_default_to_sequential_and_clamp() {
+        assert_eq!(SimConfig::default().shards, 1);
+        assert_eq!(SimConfig::default().shards(4).shards, 4);
+        assert_eq!(SimConfig::default().shards(0).shards, 1);
     }
 
     #[test]

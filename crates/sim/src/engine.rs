@@ -58,6 +58,9 @@ use crate::request::RequestState;
 /// assert_eq!(report.requests.len(), trace.len());
 /// ```
 pub fn run(trace: &Trace, config: &SimConfig, stack: PolicyStack) -> SimReport {
+    if config.shards > 1 {
+        return crate::shard::run_sharded(trace, config, stack);
+    }
     Simulation::new(trace, config, stack).run()
 }
 
@@ -81,6 +84,10 @@ struct Simulation<'a> {
     fault_active: bool,
     /// Retry attempt number per provisioning container (fault runs only).
     attempts: HashMap<ContainerId, u32>,
+    /// Outstanding `RetryProvision` events per function (fault runs
+    /// only): these are provision chains in backoff, invisible in
+    /// `FnRuntime::provisioning`, that `repair_cold_only` must count.
+    retrying: HashMap<FunctionId, u32>,
     /// In-flight requests per container as `(rid, record index)` (fault
     /// runs only) — a worker crash voids those records and re-queues the
     /// requests. `BTreeMap` so the crash-repair walk re-queues them in
@@ -159,6 +166,7 @@ impl<'a> Simulation<'a> {
             faults: FaultState::new(config.faults.clone()),
             fault_active,
             attempts: HashMap::new(),
+            retrying: HashMap::new(),
             running: BTreeMap::new(),
             arrived: 0,
             evict_index: EvictionIndex::new(),
@@ -275,6 +283,33 @@ impl<'a> Simulation<'a> {
             self.index_candidate(cid);
             self.retry_deferred();
         }
+        self.repair_cold_only(func);
+    }
+
+    /// A provision chain for `func` just ended: its container came up
+    /// and served the head of the queue via `pop_any`, which may have
+    /// been a *flexible* request (e.g. a crash refugee queued earlier)
+    /// rather than the cold-only waiter the chain was started for.
+    /// Cold-only entries can only ever be popped by a future
+    /// `ProvisionDone` — `pop_flexible` skips them — so if the chains
+    /// still outstanding (provisioning containers, retries in backoff,
+    /// deferred placements) no longer cover the cold-only backlog,
+    /// start a fresh one. Without this the waiter is stranded and only
+    /// the tick chain remains (the liveness assert in `on_tick`).
+    fn repair_cold_only(&mut self, func: FunctionId) {
+        let Some(rt) = self.cluster.fn_runtime(func) else {
+            return;
+        };
+        let cold_only = rt.pending.cold_only_len();
+        if cold_only == 0 {
+            return;
+        }
+        let chains = rt.provisioning.len()
+            + self.retrying.get(&func).map_or(0, |&n| n as usize)
+            + self.deferred.iter().filter(|&&(f, _, _)| f == func).count();
+        for _ in chains..cold_only {
+            self.request_provision(func, false, 0);
+        }
     }
 
     fn on_exec_done(&mut self, cid: ContainerId, rid: RequestId) {
@@ -360,6 +395,18 @@ impl<'a> Simulation<'a> {
             }
         }
         if self.incomplete > 0 {
+            if self.events.is_empty() {
+                // The tick chain is all that's left: nothing in flight
+                // can complete, so deferred placements are the last
+                // possible source of progress (tick evictions may have
+                // freed room with no other event to notice it).
+                self.retry_deferred();
+            }
+            assert!(
+                !self.events.is_empty(),
+                "simulation is stuck: {} unserved request(s) but no actionable events remain",
+                self.incomplete
+            );
             self.events.push(self.now + self.config.tick, Event::Tick);
         }
     }
@@ -395,6 +442,7 @@ impl<'a> Simulation<'a> {
             self.now + self.faults.plan().backoff(next),
             Event::RetryProvision(func, next, speculative),
         );
+        *self.retrying.entry(func).or_default() += 1;
         // The failure released memory a deferred provision may want.
         self.retry_deferred();
     }
@@ -404,6 +452,12 @@ impl<'a> Simulation<'a> {
     /// function's channel non-empty until a provision serves it, so
     /// skipping on an empty channel never strands anyone).
     fn on_retry_provision(&mut self, func: FunctionId, attempt: u32, speculative: bool) {
+        if let Some(n) = self.retrying.get_mut(&func) {
+            *n -= 1;
+            if *n == 0 {
+                self.retrying.remove(&func);
+            }
+        }
         let backlog = self
             .cluster
             .fn_runtime(func)

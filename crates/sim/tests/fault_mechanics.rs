@@ -214,3 +214,52 @@ fn none_plan_reports_zero_fault_counters() {
     assert_eq!(report.provision_failures, 0);
     assert_eq!(report.crash_evictions, 0);
 }
+
+/// Regression: a cold-only waiter whose provision is stolen by crash
+/// refugees must not be stranded. Crash refugees are re-queued as
+/// *flexible* entries at the head of the function channel, so the
+/// `ProvisionDone`s that were started for a later cold-only arrival
+/// `pop_any` the refugees instead; the cold-only entry is invisible to
+/// `pop_flexible` and, before the repair in `on_provision_done`, no
+/// further provision would ever pop it — the run span ticks forever
+/// with `incomplete == 1`.
+#[test]
+fn cold_only_waiter_survives_refugees_stealing_its_provision() {
+    use faas_sim::{AlwaysCold, LruKeepAlive, PolicyStack};
+    let profiles = vec![
+        // Fills worker 0 exactly, pinning every f0 container to worker 1.
+        FunctionProfile::new(FunctionId(0), "filler", 1_000, TimeDelta::from_millis(50)),
+        FunctionProfile::new(FunctionId(1), "f0", 400, TimeDelta::from_millis(100)),
+    ];
+    let iv = |f: u32, at_ms: u64, exec_ms: u64| Invocation {
+        func: FunctionId(f),
+        arrival: TimePoint::from_millis(at_ms),
+        exec: TimeDelta::from_millis(exec_ms),
+    };
+    let invocations = vec![
+        iv(0, 0, 30_000),    // filler occupies all of worker 0
+        iv(1, 200, 20_000),  // runs on worker 1
+        iv(1, 400, 20_000),  // blocked, cold-only, second container on worker 1
+        iv(1, 2_000, 1_000), // cold-only; its provision defers (no room)
+    ];
+    let trace = Trace::new(profiles, invocations).expect("valid");
+    // Crash kills both running f0 containers: the two refugees re-queue
+    // as flexible entries ahead of the cold-only rid3.
+    let plan = FaultPlan::none()
+        .seed(1)
+        .crash_worker(TimePoint::from_secs(1), WorkerId(1));
+    let config = SimConfig::default()
+        .workers_mb(vec![1_000, 1_000])
+        .faults(plan);
+    let mk = || PolicyStack::new(Box::new(LruKeepAlive), Box::new(AlwaysCold));
+    let seq = run(&trace, &config, mk());
+    assert_eq!(seq.requests.len(), 4, "every request must complete");
+    for shards in [2, 3] {
+        let sharded = run(&trace, &config.clone().shards(shards), mk());
+        assert_eq!(
+            format!("{sharded:?}"),
+            format!("{seq:?}"),
+            "shards={shards} diverged on the repair path"
+        );
+    }
+}

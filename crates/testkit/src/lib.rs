@@ -37,6 +37,6 @@ pub mod prop;
 pub mod rng;
 
 pub use bench::{atomic_write, Harness};
-pub use par::{default_jobs, par_map};
+pub use par::{default_jobs, par_map, par_map_mut};
 pub use prop::{Checker, Gen};
 pub use rng::Rng;

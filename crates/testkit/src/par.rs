@@ -6,9 +6,53 @@
 //! race for *work*, never for *output slots*. With `jobs <= 1` the map
 //! degenerates to a plain sequential loop, which is the reference
 //! behaviour determinism tests compare against.
+//!
+//! [`par_map_mut`] is the exclusive-access flavor: each element is
+//! visited by exactly one worker through `&mut`, which is what the
+//! simulator's shard pool needs (every shard owns mutable state for one
+//! phase and the caller rejoins with all results in input order).
+//!
+//! Both propagate a worker panic to the caller with the **original**
+//! payload: remaining workers stop picking up new work, the scope joins,
+//! and the first captured payload is re-raised via `resume_unwind`, so
+//! `#[should_panic(expected = ...)]` tests and real assertion messages
+//! survive the pool boundary instead of degenerating into "a scoped
+//! thread panicked".
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Shared panic state for one worker pool: a stop flag workers poll
+/// between items and the first captured payload, re-raised after join.
+#[derive(Default)]
+struct PanicGate {
+    stop: AtomicBool,
+    payload: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl PanicGate {
+    /// Runs `body`, capturing a panic into the gate. Returns `false` if
+    /// the caller should stop draining work (this or another worker
+    /// panicked).
+    fn run(&self, body: impl FnOnce()) -> bool {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+            if let Ok(mut slot) = self.payload.lock() {
+                slot.get_or_insert(payload);
+            }
+            self.stop.store(true, Ordering::Release);
+            return false;
+        }
+        !self.stop.load(Ordering::Acquire)
+    }
+
+    /// Re-raises the captured worker panic, if any.
+    fn rethrow(self) {
+        if let Some(payload) = self.payload.into_inner().ok().flatten() {
+            resume_unwind(payload);
+        }
+    }
+}
 
 /// A sensible default worker count: the machine's available parallelism.
 pub fn default_jobs() -> usize {
@@ -40,6 +84,7 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
+    let gate = PanicGate::default();
     let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -48,11 +93,17 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let result = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                let keep_going = gate.run(|| {
+                    let result = f(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+                if !keep_going {
+                    break;
+                }
             });
         }
     });
+    gate.rethrow();
     slots
         .into_iter()
         .map(|slot| {
@@ -61,6 +112,72 @@ where
                 .expect("worker filled every slot")
         })
         .collect()
+}
+
+/// The exclusive-access flavor of [`par_map`]: applies `f` to every
+/// element through `&mut` and returns the results in input order. Work
+/// is split into at most `jobs` contiguous chunks, one worker per
+/// chunk, so each element is visited exactly once with exclusive
+/// access — the access pattern a simulation shard pool needs, where
+/// every element owns mutable per-shard state for the duration of one
+/// phase.
+///
+/// With `jobs <= 1` (or a single element) this degenerates to a plain
+/// sequential loop. A panic in `f` propagates to the caller with its
+/// original payload, like [`par_map`].
+///
+/// # Examples
+///
+/// ```
+/// use faas_testkit::par_map_mut;
+/// let mut counters = vec![1u64, 2, 3];
+/// let before = par_map_mut(&mut counters, 2, |i, c| {
+///     *c += 10;
+///     i
+/// });
+/// assert_eq!(counters, vec![11, 12, 13]);
+/// assert_eq!(before, vec![0, 1, 2]);
+/// ```
+pub fn par_map_mut<T, U, F>(items: &mut [T], jobs: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let len = items.len();
+    let chunk = len.div_ceil(jobs);
+    let gate = PanicGate::default();
+    let mut out: Vec<Vec<U>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, part)| {
+                let gate = &gate;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut results = Vec::with_capacity(part.len());
+                    for (off, t) in part.iter_mut().enumerate() {
+                        let i = ci * chunk + off;
+                        if !gate.run(|| results.push(f(i, t))) {
+                            break;
+                        }
+                    }
+                    results
+                })
+            })
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect();
+    });
+    gate.rethrow();
+    out.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -111,5 +228,78 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    // Regression: a panicking worker used to abandon its result slot and
+    // the pool died with the generic "a scoped thread panicked" /
+    // "worker filled every slot" messages instead of the original
+    // payload. The pool must re-raise the *first* payload verbatim.
+    #[test]
+    #[should_panic(expected = "item 3 exploded")]
+    fn par_map_propagates_original_panic_payload() {
+        let items: Vec<u64> = (0..8).collect();
+        par_map(&items, 4, |i, &x| {
+            if i == 3 {
+                panic!("item 3 exploded");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "mut item 2 exploded")]
+    fn par_map_mut_propagates_original_panic_payload() {
+        let mut items: Vec<u64> = (0..8).collect();
+        par_map_mut(&mut items, 4, |i, x| {
+            if i == 2 {
+                panic!("mut item 2 exploded");
+            }
+            *x += 1;
+        });
+    }
+
+    #[test]
+    fn panic_stops_remaining_work() {
+        use std::sync::atomic::AtomicUsize;
+        let started = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..1024).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, 2, |i, &x| {
+                started.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    panic!("early abort");
+                }
+                // Give the panic time to land so the stop flag is
+                // observable; without it this test would race.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        assert!(
+            started.load(Ordering::Relaxed) < items.len(),
+            "workers kept draining the queue after a panic"
+        );
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_element_in_order() {
+        let mut items: Vec<u64> = (0..257).collect();
+        let idx = par_map_mut(&mut items, 4, |i, x| {
+            *x *= 2;
+            i
+        });
+        assert_eq!(idx, (0..257).collect::<Vec<_>>());
+        assert_eq!(items, (0..257).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_map_mut_sequential_fallback_matches() {
+        let mut a: Vec<u64> = (0..37).collect();
+        let mut b = a.clone();
+        let ra = par_map_mut(&mut a, 1, |i, x| i as u64 + *x);
+        let rb = par_map_mut(&mut b, 8, |i, x| i as u64 + *x);
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
     }
 }

@@ -84,6 +84,53 @@ fn same_seed_same_fault_plan_byte_identical_report() {
     }
 }
 
+/// The sharded engine (DESIGN.md §9) must be deterministic on *both*
+/// axes: byte-identical across shard counts (1 ≡ 2 ≡ 8 — the thread
+/// count is a performance knob, never a semantic one) and across
+/// repeated runs at the same shard count (no scheduling
+/// nondeterminism leaking through the epoch barriers).
+#[test]
+fn sharded_reports_byte_identical_across_shard_counts() {
+    let trace = gen::azure(42).functions(15).minutes(2).build();
+    let base = SimConfig::default().workers_mb(vec![3_072]);
+    for (label, make_stack) in stacks() {
+        let seq = format!("{:?}", run(&trace, &base.clone().shards(1), make_stack()));
+        for shards in [2, 8] {
+            let config = base.clone().shards(shards);
+            let a = format!("{:?}", run(&trace, &config, make_stack()));
+            assert_eq!(a, seq, "{label}: shards={shards} diverged from sequential");
+            let b = format!("{:?}", run(&trace, &config, make_stack()));
+            assert_eq!(a, b, "{label}: repeat run at shards={shards} diverged");
+        }
+    }
+}
+
+/// Same pins under a non-trivial fault plan: provision failures,
+/// stragglers, retry backoff, and a mid-run worker crash all route
+/// through the conductor, so the sharded run must reproduce the
+/// sequential fault interleaving exactly.
+#[test]
+fn sharded_reports_byte_identical_under_faults() {
+    let trace = gen::azure(7).functions(15).minutes(2).build();
+    let base = faulty_config(9);
+    for (label, make_stack) in stacks() {
+        let seq = format!("{:?}", run(&trace, &base.clone().shards(1), make_stack()));
+        for shards in [2, 8] {
+            let config = base.clone().shards(shards);
+            let a = format!("{:?}", run(&trace, &config, make_stack()));
+            assert_eq!(
+                a, seq,
+                "{label}: shards={shards} diverged from sequential under faults"
+            );
+            let b = format!("{:?}", run(&trace, &config, make_stack()));
+            assert_eq!(
+                a, b,
+                "{label}: repeat faulty run at shards={shards} diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn different_fault_seeds_actually_differ() {
     let trace = gen::azure(7).functions(15).minutes(2).build();

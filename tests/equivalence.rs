@@ -1,11 +1,15 @@
-//! Differential test oracle for the indexed hot paths.
+//! Differential test oracle for the indexed hot paths and the sharded
+//! parallel engine.
 //!
-//! The simulator ships two implementations of every scheduling/eviction
-//! scan: the indexed structures (`ScanMode::Indexed`, the default) and
-//! the retained naive scans (`ScanMode::Reference`, the oracle). Random
-//! workloads through both must produce byte-identical reports — any
-//! divergence is a bug in the index maintenance, and the testkit runner
-//! shrinks it to a minimal sequence automatically.
+//! The simulator ships three implementations of every run: the indexed
+//! structures (`ScanMode::Indexed`, the default), the retained naive
+//! scans (`ScanMode::Reference`, the oracle), and the sharded parallel
+//! engine (`shards > 1`, DESIGN.md §9). Random workloads through all
+//! three must produce byte-identical reports — any divergence is a bug
+//! in the index maintenance or the epoch-barrier protocol, and the
+//! testkit runner shrinks it to a minimal sequence automatically. The
+//! shard count is drawn from the choice stream too, so shrinking also
+//! minimizes the number of shards needed to reproduce a failure.
 //!
 //! Policies are chosen to cover every [`cidre::sim::PriorityDeps`]
 //! class: frozen per-container priorities (LRU, TTL, GreedyDual — the
@@ -95,31 +99,63 @@ fn stacks() -> Vec<(&'static str, fn() -> PolicyStack)> {
     ]
 }
 
-/// Runs `trace` under both scan modes and demands identical reports.
-fn assert_scans_agree(trace: &Trace, config: &SimConfig) {
+/// Interesting shard counts: sequential, the smallest parallel case,
+/// odd splits that leave shards unevenly loaded, and the machine's
+/// actual parallelism. Listed ascending so choice-0 shrinking drives a
+/// failing case toward the fewest shards that still reproduce it.
+fn arb_shards(g: &mut Gen) -> usize {
+    let menu = [1, 2, 3, 7, faas_testkit::default_jobs()];
+    menu[g.usize(0..menu.len())]
+}
+
+/// Runs `trace` under both sequential scan modes and the sharded
+/// engine, demanding byte-identical reports from all three.
+fn assert_engines_agree(trace: &Trace, config: &SimConfig, shards: usize) {
+    let verbose = std::env::var("ORACLE_VERBOSE").is_ok();
     for (label, mk) in stacks() {
+        if verbose {
+            eprintln!("  stack={label} engine=indexed");
+        }
         let indexed = run(trace, &config.clone().scan_mode(ScanMode::Indexed), mk());
+        if verbose {
+            eprintln!("  stack={label} engine=reference");
+        }
         let reference = run(trace, &config.clone().scan_mode(ScanMode::Reference), mk());
         assert_eq!(
             format!("{indexed:?}"),
             format!("{reference:?}"),
             "{label}: indexed and reference scans diverged"
         );
+        if verbose {
+            eprintln!("  stack={label} engine=sharded({shards})");
+        }
+        let sharded = run(trace, &config.clone().shards(shards), mk());
+        assert_eq!(
+            format!("{sharded:?}"),
+            format!("{indexed:?}"),
+            "{label}: sharded run ({shards} shards) diverged from sequential"
+        );
     }
 }
 
+/// The two-mode flavor for call sites that pin their own shard counts.
+fn assert_scans_agree(trace: &Trace, config: &SimConfig) {
+    assert_engines_agree(trace, config, 2);
+}
+
 #[test]
-fn indexed_and_reference_scans_agree_on_random_workloads() {
-    checker("indexed_and_reference_scans_agree_on_random_workloads").run(|g| {
+fn all_engines_agree_on_random_workloads() {
+    checker("all_engines_agree_on_random_workloads").run(|g| {
         let trace = arb_trace(g);
         let config = arb_config(g);
-        assert_scans_agree(&trace, &config);
+        let shards = arb_shards(g);
+        assert_engines_agree(&trace, &config, shards);
     });
 }
 
 #[test]
-fn indexed_and_reference_scans_agree_under_faults() {
-    checker("indexed_and_reference_scans_agree_under_faults").run(|g| {
+fn all_engines_agree_under_faults() {
+    checker("all_engines_agree_under_faults").run(|g| {
         let trace = arb_trace(g);
         let mut config = arb_config(g);
         // Two workers minimum so a crash cannot strand requests.
@@ -139,8 +175,27 @@ fn indexed_and_reference_scans_agree_under_faults() {
             );
         }
         let config = config.faults(plan);
-        assert_scans_agree(&trace, &config);
+        let shards = arb_shards(g);
+        if std::env::var("ORACLE_VERBOSE").is_ok() {
+            eprintln!(
+                "case: invs={} fns={} shards={shards} config={config:?} trace={trace:?}",
+                trace.len(),
+                trace.functions().len(),
+            );
+        }
+        assert_engines_agree(&trace, &config, shards);
     });
+}
+
+/// The fast tier-1 smoke for `ci.sh`: one pinned seed, a hot two-worker
+/// cluster, every policy stack, two shards. Fails in seconds if the
+/// barrier protocol regresses; the full randomized oracle above covers
+/// the space.
+#[test]
+fn sharded_oracle_smoke_two_shards() {
+    let trace = cidre::trace::gen::azure(42).functions(9).minutes(1).build();
+    let config = SimConfig::default().workers_mb(vec![2_048, 2_048]);
+    assert_engines_agree(&trace, &config, 2);
 }
 
 /// A tiny pinned scenario that forces multi-victim REPLACE rounds: one
