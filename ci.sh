@@ -36,6 +36,15 @@ echo "== tier 1: tests (offline) =="
 # fidelity tests are load-sensitive; everything else runs.
 cargo test -q --offline
 
+echo "== tier 1: live load-gen smoke (offline) =="
+# ~1500 requests through the executor-backed live host and the
+# simulator side by side: exits non-zero on dropped requests, a missed
+# concurrency floor, or live-vs-sim divergence beyond documented noise.
+# --no-report keeps BENCH_results.json untouched; the reporting run
+# happens after the bench baseline snapshot below.
+cargo run -q --release --offline -p cidre-bench --bin live_load -- \
+  --smoke --no-report
+
 echo "== bench smoke (offline) =="
 # Seconds-long pass over all bench targets; merges median/p95 stats
 # into BENCH_results.json and proves the harness end-to-end. The
@@ -46,13 +55,21 @@ trap 'rm -f "$baseline"' EXIT
 cp BENCH_results.json "$baseline"
 BENCH_SMOKE=1 cargo bench --offline
 
-echo "== bench guard: large-N throughput + sharded scaling =="
+echo "== bench lane: live load serving (offline) =="
+# Re-run the load-gen smoke with reporting on: merges the sustained
+# req/s and live p99 wait lanes (live_load/serve_smoke/*) into
+# BENCH_results.json for bench_guard to ratchet.
+cargo run -q --release --offline -p cidre-bench --bin live_load -- --smoke
+
+echo "== bench guard: large-N throughput + sharded scaling + live lanes =="
 # Fails on a >20% events/sec regression of replay/large_n vs the
 # committed baseline, if the indexed scan drops below 2x the retained
 # reference scan, or if the sharded scaling lane (scaling/shards_4 vs
 # scaling/shards_1) falls below its parallelism-aware floor — 2.5x on
 # >=4-CPU hosts, an overhead bound on narrower ones — or regresses
-# >20% vs its committed baseline.
+# >20% vs its committed baseline. The live serving lanes ratchet too,
+# at a looser 35% (wall-clock noise): sustained req/s may not fall,
+# and live p99 wait may not grow, past that band.
 cargo run -q --release --offline -p cidre-bench --bin bench_guard -- \
   "$baseline" BENCH_results.json
 

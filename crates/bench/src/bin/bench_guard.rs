@@ -16,11 +16,20 @@
 //!   wall-clock speedup is physically impossible — an overhead bound
 //!   instead (the sharded run may not fall below a fixed fraction of
 //!   sequential throughput), plus the same 20% ratchet against the
-//!   committed `scaling/shards_4` baseline either way.
+//!   committed `scaling/shards_4` baseline either way, or
+//! * the live load-serving lane regressed: sustained requests/sec
+//!   (`live_load` / `serve_smoke/rps`) fell more than 35% below the
+//!   committed baseline, or the live p99 wait
+//!   (`serve_smoke/p99_wait`, stored in `median_ns`, lower is better)
+//!   grew more than 35% above it. The live lane races the wall clock
+//!   end to end — reactor, executor, OS scheduler — so its threshold
+//!   is looser than the microbenchmark ratchets.
 //!
 //! Both files use the testkit harness schema; comparisons are on
 //! `throughput_elems_per_sec`, which is scenario-invariant between
 //! smoke and full bench modes (identical workload, fewer samples).
+//! The `serve_smoke` live lane is pinned to one workload by name, so
+//! it is likewise comparable across runs.
 
 use std::process::ExitCode;
 
@@ -46,16 +55,26 @@ const SHARD_SPEEDUP_MIN_CPUS: usize = 4;
 /// the real regression guard on narrow hosts.
 const SHARD_OVERHEAD_FLOOR: f64 = 0.01;
 
-/// Extracts `throughput_elems_per_sec` for `bench` under `target`.
-fn throughput(doc: &Value, target: &str, bench: &str) -> Option<f64> {
+/// Maximum tolerated relative regression on the live load-serving
+/// lanes (rps down, or p99 wait up). Wall-clock end-to-end runs are
+/// noisier than microbenchmarks, hence the looser threshold.
+const LIVE_MAX_REGRESSION: f64 = 0.35;
+
+/// Extracts field `key` for `bench` under `target`.
+fn bench_field(doc: &Value, target: &str, bench: &str, key: &str) -> Option<f64> {
     doc.get("targets")?
         .get(target)?
         .get("benches")?
         .as_arr()?
         .iter()
         .find(|b| b.get("name").and_then(Value::as_str) == Some(bench))?
-        .get("throughput_elems_per_sec")?
+        .get(key)?
         .as_f64()
+}
+
+/// Extracts `throughput_elems_per_sec` for `bench` under `target`.
+fn throughput(doc: &Value, target: &str, bench: &str) -> Option<f64> {
+    bench_field(doc, target, bench, "throughput_elems_per_sec")
 }
 
 fn load(path: &str) -> Result<Value, String> {
@@ -175,6 +194,62 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!("bench_guard: current run lacks the scaling/shards_{{1,4}} lane");
+            ok = false;
+        }
+    }
+
+    // Gate 4: live load-serving lanes (looser, wall-clock ratchets).
+    match throughput(&current, "live_load", "serve_smoke/rps") {
+        Some(rps) => {
+            match throughput(&baseline, "live_load", "serve_smoke/rps") {
+                Some(base) => {
+                    let floor = base * (1.0 - LIVE_MAX_REGRESSION);
+                    if rps < floor {
+                        eprintln!(
+                            "bench_guard: serve_smoke/rps regressed: {rps:.0} req/s < \
+                         {floor:.0} (baseline {base:.0} - {:.0}%)",
+                            LIVE_MAX_REGRESSION * 100.0
+                        );
+                        ok = false;
+                    } else {
+                        println!("bench_guard: serve_smoke/rps {rps:.0} req/s vs baseline {base:.0} (ok)");
+                    }
+                }
+                None => println!("bench_guard: no baseline for serve_smoke/rps; skipping ratchet"),
+            }
+        }
+        None => {
+            eprintln!("bench_guard: current run lacks live_load/serve_smoke/rps");
+            ok = false;
+        }
+    }
+    match bench_field(&current, "live_load", "serve_smoke/p99_wait", "median_ns") {
+        Some(p99) => match bench_field(&baseline, "live_load", "serve_smoke/p99_wait", "median_ns")
+        {
+            Some(base) if base > 0.0 => {
+                let ceiling = base * (1.0 + LIVE_MAX_REGRESSION);
+                if p99 > ceiling {
+                    eprintln!(
+                        "bench_guard: serve_smoke/p99_wait regressed: {:.1} ms > \
+                         {:.1} (baseline {:.1} + {:.0}%)",
+                        p99 / 1e6,
+                        ceiling / 1e6,
+                        base / 1e6,
+                        LIVE_MAX_REGRESSION * 100.0
+                    );
+                    ok = false;
+                } else {
+                    println!(
+                        "bench_guard: serve_smoke/p99_wait {:.1} ms vs baseline {:.1} (ok)",
+                        p99 / 1e6,
+                        base / 1e6
+                    );
+                }
+            }
+            _ => println!("bench_guard: no baseline for serve_smoke/p99_wait; skipping ratchet"),
+        },
+        None => {
+            eprintln!("bench_guard: current run lacks live_load/serve_smoke/p99_wait");
             ok = false;
         }
     }

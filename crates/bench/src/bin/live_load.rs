@@ -1,0 +1,318 @@
+//! Open-loop load generator for the live executor-backed host.
+//!
+//! Builds a seeded arrival schedule ([`faas_testkit::Arrivals`]), turns
+//! it into a trace, replays it on the live host (`faas_live`, wall
+//! clock, async executor) *and* through the deterministic simulator,
+//! then prints both sides: sustained requests/sec, p50 / p99 / p999
+//! wait, and the warm / delayed-warm / cold class split. The schedule
+//! is a pure function of the seed, so any run can be reproduced and
+//! cross-checked byte-for-byte.
+//!
+//! Usage: `live_load [--smoke] [--no-report] [--seed=N] [--stack=cidre]`
+//!
+//! * `--smoke` — the CI configuration: ~1500 requests, finishes in
+//!   about a second. The default (full) configuration keeps **>= 10 000
+//!   requests in flight at once** and asserts that it did.
+//! * `--no-report` — skip merging results into `BENCH_results.json`
+//!   (used by the tier-1 smoke lane, which runs before the bench
+//!   baseline snapshot).
+//! * `--seed=N` — arrival-schedule seed (default 9).
+//! * `--stack=cidre` — drive the CIDRE policy stack instead of the
+//!   default FaasCache stack.
+//!
+//! The process exits non-zero when the live run drops a request, fails
+//! its concurrency floor, or diverges from the simulator beyond the
+//! documented noise bounds: class ratios within 0.25, p50/p99 wait
+//! within 150 simulated ms (cold starts are 300 ms, so this tolerates
+//! scheduling jitter but catches systematic distortion like an event
+//! loop that cannot keep up). The extreme tail (p999) additionally
+//! absorbs worst-case OS-scheduling and policy-cost hiccups on the
+//! slowest handful of requests — real-time phenomena, so its bound is
+//! a fixed real-millisecond budget that time compression scales into
+//! simulated milliseconds.
+
+use std::process::ExitCode;
+
+use cidre_core::{cidre_stack, CidreConfig};
+use faas_live::{run_live_stats, LiveConfig};
+use faas_metrics::PercentileSink;
+use faas_policies::faascache_stack;
+use faas_sim::{run, PolicyStack, SimConfig, SimReport, StartClass};
+use faas_testkit::{Arrivals, BenchStats, Harness};
+use faas_trace::{FunctionId, FunctionProfile, Invocation, TimeDelta, TimePoint, Trace};
+
+/// Class-ratio agreement bound between live and simulated runs.
+const RATIO_TOLERANCE: f64 = 0.25;
+
+/// Wait-percentile agreement bound, in simulated milliseconds.
+const WAIT_TOLERANCE_MS: f64 = 150.0;
+
+/// Extra real-time jitter budget for the p999 tail, in *real*
+/// milliseconds; divided by the time scale to land in simulated units.
+const TAIL_JITTER_REAL_MS: f64 = 60.0;
+
+/// One load-generator configuration (all times simulated).
+struct Scenario {
+    /// Lane prefix in `BENCH_results.json` (`serve_smoke` / `serve_full`).
+    lane: &'static str,
+    requests: usize,
+    functions: u32,
+    /// Arrival window; with `exec` longer than it, every request
+    /// overlaps every other.
+    window: TimeDelta,
+    exec: TimeDelta,
+    /// Simulated-to-real compression (`0.05` = 1 s simulated in 50 ms).
+    time_scale: f64,
+    cache_gb: u64,
+    /// Concurrency floor the live run must reach.
+    min_inflight: u64,
+}
+
+impl Scenario {
+    fn smoke() -> Self {
+        Self {
+            lane: "serve_smoke",
+            requests: 1_500,
+            functions: 8,
+            window: TimeDelta::from_secs(10),
+            exec: TimeDelta::from_secs(12),
+            time_scale: 0.02,
+            cache_gb: 100,
+            min_inflight: 1_000,
+        }
+    }
+
+    fn full() -> Self {
+        // 12 000 requests over 40 simulated seconds (~170 us of real
+        // time apart at 1:20 compression — above per-event policy
+        // cost), each executing 60 s, so the in-flight population
+        // climbs to the full 12 000. The cache is sized so capacity,
+        // not eviction pressure, bounds the container count
+        // (12 000 / 4 threads = 3 000 containers of 128 MB).
+        Self {
+            lane: "serve_full",
+            requests: 12_000,
+            functions: 8,
+            window: TimeDelta::from_secs(40),
+            exec: TimeDelta::from_secs(60),
+            time_scale: 0.05,
+            cache_gb: 400,
+            min_inflight: 10_000,
+        }
+    }
+
+    /// The seeded trace: Poisson arrivals over `window`, functions
+    /// assigned round-robin, fixed execution time.
+    fn trace(&self, seed: u64) -> Trace {
+        let profiles: Vec<FunctionProfile> = (0..self.functions)
+            .map(|i| {
+                FunctionProfile::new(
+                    FunctionId(i),
+                    format!("f{i}"),
+                    128,
+                    TimeDelta::from_millis(300),
+                )
+            })
+            .collect();
+        let rate = self.requests as f64 / (self.window.as_millis_f64() / 1e3);
+        let invs: Vec<Invocation> = Arrivals::poisson(seed, rate)
+            .take(self.requests)
+            .enumerate()
+            .map(|(i, at_us)| Invocation {
+                func: FunctionId(i as u32 % self.functions),
+                arrival: TimePoint::from_micros(at_us),
+                exec: self.exec,
+            })
+            .collect();
+        Trace::new(profiles, invs).expect("generated trace is valid")
+    }
+}
+
+/// p50 / p99 / p999 of per-request wait, in simulated milliseconds.
+fn wait_sink(report: &SimReport) -> PercentileSink {
+    let mut sink = PercentileSink::latency();
+    for r in &report.requests {
+        sink.record(r.wait.as_millis_f64());
+    }
+    sink
+}
+
+fn ratio_line(report: &SimReport) -> String {
+    format!(
+        "warm {:.3}  delayed-warm {:.3}  cold {:.3}",
+        report.ratio(StartClass::Warm),
+        report.ratio(StartClass::DelayedWarm),
+        report.ratio(StartClass::Cold),
+    )
+}
+
+fn percentile_line(sink: &PercentileSink) -> String {
+    let q = |p: f64| sink.quantile(p).unwrap_or(f64::NAN);
+    format!(
+        "p50 {:.1} ms  p99 {:.1} ms  p999 {:.1} ms",
+        q(0.50),
+        q(0.99),
+        q(0.999),
+    )
+}
+
+/// Flat single-sample [`BenchStats`] for an externally measured value.
+fn external_stat(name: String, ns: f64, elems_per_iter: Option<u64>, iters: u64) -> BenchStats {
+    BenchStats {
+        name,
+        samples: 1,
+        iters_per_sample: iters,
+        median_ns: ns,
+        p95_ns: ns,
+        mean_ns: ns,
+        min_ns: ns,
+        max_ns: ns,
+        elems_per_iter,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut report_results = true;
+    let mut seed = 9u64;
+    let mut cidre = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--no-report" => report_results = false,
+            "--stack=cidre" => cidre = true,
+            a if a.starts_with("--seed=") => {
+                seed = match a["--seed=".len()..].parse() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("live_load: bad --seed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "live_load: unknown argument {other}\n\
+                     usage: live_load [--smoke] [--no-report] [--seed=N] [--stack=cidre]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let scenario = if smoke {
+        Scenario::smoke()
+    } else {
+        Scenario::full()
+    };
+    let mk: fn() -> PolicyStack = if cidre {
+        || cidre_stack(CidreConfig::default())
+    } else {
+        faascache_stack
+    };
+    let stack_name = if cidre { "cidre" } else { "faascache" };
+    println!(
+        "live_load: {} requests over {:.0} s simulated, exec {:.0} s, seed {seed}, \
+         stack {stack_name}, 1:{:.0} compression",
+        scenario.requests,
+        scenario.window.as_millis_f64() / 1e3,
+        scenario.exec.as_millis_f64() / 1e3,
+        1.0 / scenario.time_scale,
+    );
+
+    let trace = scenario.trace(seed);
+    let sim_cfg = SimConfig::with_cache_gb(scenario.cache_gb).container_threads(4);
+    let live_cfg = LiveConfig::default()
+        .sim(sim_cfg.clone())
+        .time_scale(scenario.time_scale);
+
+    let simulated = run(&trace, &sim_cfg, mk());
+    let (live, stats) = run_live_stats(&trace, &live_cfg, mk());
+
+    let sim_sink = wait_sink(&simulated);
+    let live_sink = wait_sink(&live);
+    println!("  sim : {}", ratio_line(&simulated));
+    println!("        {}", percentile_line(&sim_sink));
+    println!("  live: {}", ratio_line(&live));
+    println!("        {}", percentile_line(&live_sink));
+    let rps = live.requests.len() as f64 / stats.wall.as_secs_f64();
+    println!(
+        "  live: {} requests in {:.2} s wall = {:.0} req/s sustained; \
+         peak in-flight {}, peak tasks {}, {} workers",
+        live.requests.len(),
+        stats.wall.as_secs_f64(),
+        rps,
+        stats.peak_inflight,
+        stats.peak_tasks,
+        stats.workers,
+    );
+
+    let mut ok = true;
+    if live.requests.len() != trace.len() {
+        eprintln!(
+            "live_load: dropped requests: {} served of {}",
+            live.requests.len(),
+            trace.len()
+        );
+        ok = false;
+    }
+    if stats.peak_inflight < scenario.min_inflight {
+        eprintln!(
+            "live_load: concurrency floor missed: peak in-flight {} < {}",
+            stats.peak_inflight, scenario.min_inflight
+        );
+        ok = false;
+    }
+    for class in [StartClass::Warm, StartClass::DelayedWarm, StartClass::Cold] {
+        let (s, l) = (simulated.ratio(class), live.ratio(class));
+        if (s - l).abs() > RATIO_TOLERANCE {
+            eprintln!("live_load: {class:?} ratio diverged: sim {s:.3} vs live {l:.3}");
+            ok = false;
+        }
+    }
+    for p in [0.50, 0.99, 0.999] {
+        let (s, l) = (
+            sim_sink.quantile(p).unwrap_or(0.0),
+            live_sink.quantile(p).unwrap_or(0.0),
+        );
+        let mut bound = WAIT_TOLERANCE_MS;
+        if p == 0.999 {
+            bound += TAIL_JITTER_REAL_MS / scenario.time_scale;
+        }
+        if (s - l).abs() > bound {
+            eprintln!(
+                "live_load: p{:.0} wait diverged: sim {s:.1} ms vs live {l:.1} ms \
+                 (bound {bound:.0} ms)",
+                p * 1e3
+            );
+            ok = false;
+        }
+    }
+
+    if report_results {
+        let mut harness = Harness::new("live_load");
+        // Sustained request rate: one "iteration" per request, so the
+        // derived throughput_elems_per_sec is requests per wall second.
+        harness.record(external_stat(
+            format!("{}/rps", scenario.lane),
+            stats.wall.as_nanos() as f64 / live.requests.len().max(1) as f64,
+            Some(1),
+            live.requests.len() as u64,
+        ));
+        // Tail wait, stored as simulated nanoseconds in median_ns so
+        // bench_guard can ratchet it (lower is better).
+        harness.record(external_stat(
+            format!("{}/p99_wait", scenario.lane),
+            live_sink.quantile(0.99).unwrap_or(0.0) * 1e6,
+            None,
+            live.requests.len() as u64,
+        ));
+        harness.finish();
+    }
+
+    if ok {
+        println!("live_load: ok");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,145 @@
+//! A cached thread pool for blocking work (real handler execution).
+//!
+//! Async worker threads must never block on user code: a handful of
+//! them multiplex tens of thousands of suspended tasks, and one
+//! long-running handler would stall them all. Blocking jobs therefore
+//! go to this pool: threads are created on demand up to a cap, parked
+//! idle for a grace period so bursts reuse them, and retired when the
+//! burst passes. This replaces the old thread-*per-request* model with
+//! thread-per-*concurrently-running*-request.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long an idle blocking thread lingers before retiring.
+const IDLE_GRACE: Duration = Duration::from_millis(200);
+
+struct BlockingState {
+    queue: VecDeque<Job>,
+    idle: usize,
+    total: usize,
+    peak: usize,
+    shutdown: bool,
+    /// First panic payload from a blocking job.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Shared {
+    state: Mutex<BlockingState>,
+    /// Signals queued work (and shutdown) to pool threads.
+    work: Condvar,
+    /// Signals thread retirement to a shutdown waiter.
+    drained: Condvar,
+    cap: usize,
+}
+
+pub(crate) struct BlockingPool {
+    shared: Arc<Shared>,
+}
+
+impl BlockingPool {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(BlockingState {
+                    queue: VecDeque::new(),
+                    idle: 0,
+                    total: 0,
+                    peak: 0,
+                    shutdown: false,
+                    panic: None,
+                }),
+                work: Condvar::new(),
+                drained: Condvar::new(),
+                cap: cap.max(1),
+            }),
+        }
+    }
+
+    /// Queues `job`, growing the pool if no thread is idle and the cap
+    /// allows. Returns `false` if the pool already shut down (the job
+    /// is dropped).
+    pub(crate) fn submit(&self, job: Job) -> bool {
+        let spawn_worker = {
+            let mut st = self.shared.state.lock().expect("blocking pool lock");
+            if st.shutdown {
+                return false;
+            }
+            st.queue.push_back(job);
+            if st.idle == 0 && st.total < self.shared.cap {
+                st.total += 1;
+                st.peak = st.peak.max(st.total);
+                true
+            } else {
+                false
+            }
+        };
+        if spawn_worker {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("faas-exec-blocking".into())
+                .spawn(move || blocking_worker(&shared))
+                .expect("spawn blocking worker");
+        } else {
+            self.shared.work.notify_one();
+        }
+        true
+    }
+
+    pub(crate) fn peak_threads(&self) -> usize {
+        self.shared.state.lock().expect("blocking pool lock").peak
+    }
+
+    /// Stops accepting work, waits for queued jobs to finish and every
+    /// thread to retire, and surfaces the first captured job panic.
+    pub(crate) fn shutdown(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut st = self.shared.state.lock().expect("blocking pool lock");
+        st.shutdown = true;
+        self.shared.work.notify_all();
+        while st.total > 0 {
+            st = self.shared.drained.wait(st).expect("blocking pool lock");
+        }
+        st.panic.take()
+    }
+}
+
+fn blocking_worker(shared: &Shared) {
+    let mut st = shared.state.lock().expect("blocking pool lock");
+    loop {
+        if let Some(job) = st.queue.pop_front() {
+            drop(st);
+            // User code runs outside the lock; a panicking job is
+            // captured so the pool (and its lock) survive.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                let mut locked = shared.state.lock().expect("blocking pool lock");
+                locked.panic.get_or_insert(payload);
+                st = locked;
+            } else {
+                st = shared.state.lock().expect("blocking pool lock");
+            }
+            continue;
+        }
+        if st.shutdown {
+            st.total -= 1;
+            shared.drained.notify_all();
+            return;
+        }
+        st.idle += 1;
+        let (guard, timeout) = shared
+            .work
+            .wait_timeout(st, IDLE_GRACE)
+            .expect("blocking pool lock");
+        st = guard;
+        st.idle -= 1;
+        if timeout.timed_out() && st.queue.is_empty() && !st.shutdown {
+            // Burst passed: retire quietly.
+            st.total -= 1;
+            shared.drained.notify_all();
+            return;
+        }
+    }
+}

@@ -8,11 +8,12 @@
 //! start class (warm / delayed warm / cold) and the invocation overhead
 //! the policy produced.
 //!
-//! Handler execution is real: each running invocation occupies an OS
-//! thread for as long as the handler runs. Provisioning latency — the
-//! part of a cold start a host cannot execute for you — is realised as a
-//! timed delay of `profile.cold_start` scaled by
-//! [`crate::LiveConfig::time_scale`].
+//! Handler execution is real: each *running* invocation occupies a
+//! thread of the executor's cached blocking pool for as long as the
+//! handler runs (waiting invocations are suspended tasks, not threads —
+//! see [`crate::exec`]). Provisioning latency — the part of a cold
+//! start a host cannot execute for you — is realised as a timed delay
+//! of `profile.cold_start` scaled by [`crate::LiveConfig::time_scale`].
 //!
 //! Fault injection ([`faas_sim::FaultPlan`]) applies only to trace
 //! replay ([`crate::run_live`]): replay owns every request's lifecycle,
@@ -52,11 +53,11 @@ use faas_sim::{
 };
 use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
 
+use crate::exec;
 use crate::runtime::LiveConfig;
-use crate::timer::Timer;
 
-/// A deployed function's handler: bytes in, bytes out. Runs on its own
-/// thread for every invocation.
+/// A deployed function's handler: bytes in, bytes out. Runs on a
+/// blocking-pool thread for every invocation.
 pub type Handler = Arc<dyn Fn(Vec<u8>) -> Vec<u8> + Send + Sync>;
 
 /// The outcome of one invocation.
@@ -96,8 +97,8 @@ enum Msg {
 
 /// A running FaaS host. See the module docs for the lifecycle.
 pub struct FaasHost {
-    tx: mpsc::Sender<Msg>,
-    orchestrator: Option<std::thread::JoinHandle<()>>,
+    tx: exec::channel::Sender<Msg>,
+    executor: Option<exec::Executor>,
 }
 
 impl std::fmt::Debug for FaasHost {
@@ -107,26 +108,34 @@ impl std::fmt::Debug for FaasHost {
 }
 
 impl FaasHost {
-    /// Starts the host with the given deployments.
+    /// Starts the host with the given deployments. The orchestrator
+    /// runs as a task on an in-process [`exec::Executor`].
     ///
     /// # Panics
     ///
     /// Panics if a deployed function's memory footprint exceeds every
-    /// worker, or if two deployments share a [`FunctionId`].
+    /// worker, if two deployments share a [`FunctionId`], or if
+    /// `config` fails [`LiveConfig`] validation.
     pub fn start(
         config: LiveConfig,
         stack: PolicyStack,
         deployments: Vec<(FunctionProfile, Handler)>,
     ) -> Self {
-        let (tx, rx) = mpsc::channel();
-        let orchestrator_tx = tx.clone();
-        let orchestrator = std::thread::Builder::new()
-            .name("faas-host".into())
-            .spawn(move || Orchestrator::new(config, stack, deployments, orchestrator_tx, rx).run())
-            .expect("spawn orchestrator");
+        config.validate();
+        let executor = exec::Executor::new(config.exec_threads);
+        let (tx, rx) = exec::channel::channel();
+        let orchestrator = Orchestrator::new(
+            config,
+            stack,
+            deployments,
+            executor.handle(),
+            tx.clone(),
+            rx,
+        );
+        drop(executor.spawn(orchestrator.run()));
         Self {
             tx,
-            orchestrator: Some(orchestrator),
+            executor: Some(executor),
         }
     }
 
@@ -139,14 +148,19 @@ impl FaasHost {
     }
 
     /// Drains in-flight invocations and returns the run report.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic any handler hit (the executor captures
+    /// handler panics instead of letting them kill a request thread).
     pub fn shutdown(mut self) -> SimReport {
         let (rtx, rrx) = mpsc::channel();
         let _ = self.tx.send(Msg::Shutdown(rtx));
-        let report = rrx.recv().expect("orchestrator returns a report");
-        if let Some(handle) = self.orchestrator.take() {
-            let _ = handle.join();
-        }
-        report
+        let report = rrx.recv();
+        let executor = self.executor.take().expect("executor lives until shutdown");
+        // Rethrows captured orchestrator/handler panics.
+        executor.shutdown();
+        report.expect("orchestrator returns a report")
     }
 }
 
@@ -163,9 +177,9 @@ struct Orchestrator {
     config: LiveConfig,
     handlers: HashMap<FunctionId, Handler>,
     start: Instant,
-    timer: Timer<Msg>,
-    self_tx: mpsc::Sender<Msg>,
-    rx: mpsc::Receiver<Msg>,
+    exec: exec::Handle,
+    self_tx: exec::channel::Sender<Msg>,
+    rx: exec::channel::Receiver<Msg>,
     next_request: u64,
     inflight: HashMap<RequestId, InFlight>,
     /// Wait and class stamped when each request started executing.
@@ -191,8 +205,9 @@ impl Orchestrator {
         config: LiveConfig,
         policies: PolicyStack,
         deployments: Vec<(FunctionProfile, Handler)>,
-        self_tx: mpsc::Sender<Msg>,
-        rx: mpsc::Receiver<Msg>,
+        exec: exec::Handle,
+        self_tx: exec::channel::Sender<Msg>,
+        rx: exec::channel::Receiver<Msg>,
     ) -> Self {
         let max_worker = config.sim.workers_mb.iter().copied().max().unwrap_or(0);
         let mut handlers = HashMap::new();
@@ -221,16 +236,20 @@ impl Orchestrator {
         cluster.set_scan(config.sim.scan);
         let use_evict_index = config.sim.scan == ScanMode::Indexed
             && policies.keepalive.priority_deps() != PriorityDeps::Volatile;
-        let timer = Timer::spawn(self_tx.clone());
         let start = Instant::now();
-        timer.schedule(start + scale(config.sim.tick, config.time_scale), Msg::Tick);
+        exec::send_at(
+            &exec,
+            &self_tx,
+            start + scale(config.sim.tick, config.time_scale),
+            Msg::Tick,
+        );
         Self {
             cluster,
             policies,
             config,
             handlers,
             start,
-            timer,
+            exec,
             self_tx,
             rx,
             next_request: 0,
@@ -254,9 +273,16 @@ impl Orchestrator {
         TimePoint::from_micros((real / self.config.time_scale * 1e6) as u64)
     }
 
-    fn run(mut self) {
+    /// Schedules `msg` for wall-clock delivery; see [`exec::send_at`].
+    fn schedule(&self, deadline: Instant, msg: Msg) {
+        exec::send_at(&self.exec, &self.self_tx, deadline, msg);
+    }
+
+    async fn run(mut self) {
         loop {
-            let Ok(msg) = self.rx.recv() else { return };
+            let Some(msg) = self.rx.recv().await else {
+                return;
+            };
             match msg {
                 Msg::Invoke(func, payload, reply) => self.on_invoke(func, payload, reply),
                 Msg::ProvisionDone(cid) => self.on_provision_done(cid),
@@ -458,7 +484,7 @@ impl Orchestrator {
                 }
             }
         }
-        self.timer.schedule(
+        self.schedule(
             Instant::now() + scale(self.config.sim.tick, self.config.time_scale),
             Msg::Tick,
         );
@@ -485,14 +511,14 @@ impl Orchestrator {
 
         let handler = Arc::clone(self.handlers.get(&func).expect("deployed"));
         let done_tx = self.self_tx.clone();
-        std::thread::Builder::new()
-            .name(format!("faas-exec-{rid}"))
-            .spawn(move || {
-                let begun = Instant::now();
-                let output = handler(payload);
-                let _ = done_tx.send(Msg::ExecDone(cid, rid, output, begun.elapsed()));
-            })
-            .expect("spawn execution thread");
+        // The handler runs on the executor's cached blocking pool: one
+        // pool thread per *running* invocation, reused across bursts,
+        // instead of a fresh OS thread per request.
+        drop(self.exec.spawn_blocking(move || {
+            let begun = Instant::now();
+            let output = handler(payload);
+            let _ = done_tx.send(Msg::ExecDone(cid, rid, output, begun.elapsed()));
+        }));
 
         let info = faas_sim::RequestInfo {
             id: rid,
@@ -594,7 +620,7 @@ impl Orchestrator {
                 .provision_latency(func, &ctx)
                 .unwrap_or_else(|| self.cluster.profile(func).cold_start)
         };
-        self.timer.schedule(
+        self.schedule(
             Instant::now() + scale(cold, self.config.time_scale),
             Msg::ProvisionDone(cid),
         );

@@ -49,10 +49,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
+mod heap;
 mod host;
 mod runtime;
 mod timer;
 
 pub use host::{FaasHost, Handler, InvokeHandle, InvokeOutcome};
-pub use runtime::{run_live, LiveConfig};
+pub use runtime::{run_live, run_live_stats, LiveConfig, LiveStats};
 pub use timer::Timer;

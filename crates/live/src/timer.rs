@@ -1,37 +1,30 @@
 //! A real-time delay queue: schedule messages to fire at wall-clock
 //! deadlines, delivered through a channel.
+//!
+//! Deadlines live in a [`crate::heap::DeadlineHeap`], so simultaneous
+//! deadlines fire in insertion order (deterministic ties). All lock
+//! acquisitions recover from poisoning: a thread that panics while
+//! holding the timer lock (e.g. a panicking payload destructor on an
+//! unwinding user thread) leaves the heap in a consistent state — every
+//! mutation below is completed before the lock is released — so
+//! survivors keep scheduling and pending deadlines keep firing instead
+//! of every later `expect("timer lock")` silently killing the timer.
 
-use std::collections::BinaryHeap;
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
-/// A scheduled entry: fire `payload` at `deadline`.
-struct Entry<T> {
-    deadline: Instant,
-    seq: u64,
-    payload: T,
-}
+use crate::heap::DeadlineHeap;
 
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .deadline
-            .cmp(&self.deadline)
-            .then(other.seq.cmp(&self.seq))
-    }
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// Safe here because every critical section in this module keeps the
+/// state consistent at all points where a panic can unwind (payload
+/// drops and channel sends happen outside the lock).
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Handle for scheduling messages onto the timer thread.
@@ -45,7 +38,7 @@ pub struct Timer<T> {
 impl<T> Clone for Timer<T> {
     fn clone(&self) -> Self {
         let (lock, _) = &*self.state;
-        lock.lock().expect("timer lock").handles += 1;
+        lock_recover(lock).handles += 1;
         Self {
             state: Arc::clone(&self.state),
         }
@@ -53,8 +46,7 @@ impl<T> Clone for Timer<T> {
 }
 
 struct TimerState<T> {
-    heap: BinaryHeap<Entry<T>>,
-    seq: u64,
+    heap: DeadlineHeap<T>,
     handles: usize,
 }
 
@@ -63,8 +55,7 @@ impl<T: Send + 'static> Timer<T> {
     pub fn spawn(out: Sender<T>) -> Self {
         let state = Arc::new((
             Mutex::new(TimerState {
-                heap: BinaryHeap::new(),
-                seq: 0,
+                heap: DeadlineHeap::new(),
                 handles: 1,
             }),
             Condvar::new(),
@@ -74,29 +65,39 @@ impl<T: Send + 'static> Timer<T> {
             .name("faas-live-timer".into())
             .spawn(move || {
                 let (lock, cvar) = &*thread_state;
-                let mut guard = lock.lock().expect("timer lock");
+                let mut guard = lock_recover(lock);
                 loop {
                     let now = Instant::now();
-                    // Fire everything due.
-                    while guard
-                        .heap
-                        .peek()
-                        .map(|e| e.deadline <= now)
-                        .unwrap_or(false)
-                    {
-                        let entry = guard.heap.pop().expect("peeked");
-                        // Ignore send errors: the consumer may have left.
-                        let _ = out.send(entry.payload);
+                    // Drain everything due while holding the lock, but
+                    // send (and, if the consumer left, drop) the
+                    // payloads outside it: a panicking payload `Drop`
+                    // must not poison the heap.
+                    let mut due = Vec::new();
+                    while let Some(payload) = guard.heap.pop_due(now) {
+                        due.push(payload);
+                    }
+                    if !due.is_empty() {
+                        drop(guard);
+                        for payload in due {
+                            // Ignore send errors: the consumer may have left.
+                            let _ = out.send(payload);
+                        }
+                        guard = lock_recover(lock);
+                        continue;
                     }
                     if guard.handles == 0 && guard.heap.is_empty() {
                         return;
                     }
-                    guard = match guard.heap.peek().map(|e| e.deadline) {
+                    guard = match guard.heap.next_deadline() {
                         Some(next) => {
                             let wait = next.saturating_duration_since(Instant::now());
-                            cvar.wait_timeout(guard, wait).expect("timer lock").0
+                            cvar.wait_timeout(guard, wait)
+                                .map(|(g, _)| g)
+                                .unwrap_or_else(|poisoned| poisoned.into_inner().0)
                         }
-                        None => cvar.wait(guard).expect("timer lock"),
+                        None => cvar
+                            .wait(guard)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner()),
                     };
                 }
             })
@@ -104,17 +105,11 @@ impl<T: Send + 'static> Timer<T> {
         Self { state }
     }
 
-    /// Schedules `payload` to fire at `deadline`.
+    /// Schedules `payload` to fire at `deadline`. Payloads scheduled for
+    /// the same instant fire in the order they were scheduled.
     pub fn schedule(&self, deadline: Instant, payload: T) {
         let (lock, cvar) = &*self.state;
-        let mut guard = lock.lock().expect("timer lock");
-        let seq = guard.seq;
-        guard.seq += 1;
-        guard.heap.push(Entry {
-            deadline,
-            seq,
-            payload,
-        });
+        lock_recover(lock).heap.push(deadline, payload);
         cvar.notify_one();
     }
 }
@@ -122,10 +117,8 @@ impl<T: Send + 'static> Timer<T> {
 impl<T> Drop for Timer<T> {
     fn drop(&mut self) {
         let (lock, cvar) = &*self.state;
-        if let Ok(mut guard) = lock.lock() {
-            guard.handles -= 1;
-            cvar.notify_one();
-        }
+        lock_recover(lock).handles -= 1;
+        cvar.notify_one();
     }
 }
 
@@ -159,6 +152,36 @@ mod tests {
     }
 
     #[test]
+    fn equal_deadlines_fire_in_schedule_order() {
+        // Regression: simultaneous deadlines used to surface in raw
+        // heap order; the sequence-numbered entries pin insertion order.
+        let (tx, rx) = mpsc::channel();
+        let timer = Timer::spawn(tx);
+        let deadline = Instant::now() + Duration::from_millis(20);
+        for i in 0..32u32 {
+            timer.schedule(deadline, i);
+        }
+        let got: Vec<u32> = (0..32)
+            .map(|_| rx.recv_timeout(Duration::from_secs(1)).expect("fires"))
+            .collect();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_duration_deadlines_fire_in_schedule_order() {
+        let (tx, rx) = mpsc::channel();
+        let timer = Timer::spawn(tx);
+        let now = Instant::now();
+        for i in 0..8u32 {
+            timer.schedule(now, i);
+        }
+        let got: Vec<u32> = (0..8)
+            .map(|_| rx.recv_timeout(Duration::from_secs(1)).expect("fires"))
+            .collect();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn clone_handles_keep_timer_alive() {
         let (tx, rx) = mpsc::channel();
         let timer = Timer::spawn(tx);
@@ -175,5 +198,31 @@ mod tests {
         timer.schedule(Instant::now() + Duration::from_millis(20), 9u8);
         drop(timer);
         assert_eq!(rx.recv_timeout(Duration::from_secs(1)).expect("fires"), 9);
+    }
+
+    #[test]
+    fn survives_lock_poisoning() {
+        // Regression: a panic while holding the timer lock used to make
+        // every later `expect("timer lock")` panic in turn, silently
+        // killing all future deadlines. Poison the lock deliberately
+        // from a doomed thread, then check the timer still works —
+        // no `should_panic` anywhere: the panic stays on the thread
+        // that caused it.
+        let (tx, rx) = mpsc::channel();
+        let timer = Timer::spawn(tx);
+        let state = Arc::clone(&timer.state);
+        let doomed = std::thread::spawn(move || {
+            let (lock, _) = &*state;
+            let _guard = lock.lock().expect("first holder");
+            panic!("poison the timer lock");
+        });
+        assert!(doomed.join().is_err(), "the doomed thread must panic");
+        // Scheduling and firing both recover from the poisoned mutex.
+        timer.schedule(Instant::now() + Duration::from_millis(5), 11u8);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).expect("fires"), 11);
+        let clone = timer.clone();
+        drop(timer);
+        clone.schedule(Instant::now(), 12);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).expect("fires"), 12);
     }
 }

@@ -9,7 +9,10 @@
 //! helpers ([`Table`], [`AsciiChart`]) used by the experiment harness.
 //!
 //! For runs too large to keep every sample, [`P2Quantile`] estimates a
-//! single quantile in constant memory (the P² algorithm).
+//! single quantile in constant memory (the P² algorithm), and
+//! [`PercentileSink`] bundles several such estimators with exact
+//! count / min / max / mean — the measurement endpoint for open-loop
+//! load generation.
 //!
 //! Everything here is dependency-free, deterministic, and `f64`-based; the
 //! simulator keeps integer microseconds internally and converts at the
@@ -34,6 +37,7 @@ mod cdf;
 mod histogram;
 mod percentile;
 mod quantile;
+mod sink;
 mod sliding;
 mod summary;
 mod table;
@@ -44,6 +48,7 @@ pub use cdf::Cdf;
 pub use histogram::{Histogram, HistogramBin};
 pub use percentile::{mean, median, percentile, std_dev};
 pub use quantile::P2Quantile;
+pub use sink::PercentileSink;
 pub use sliding::SlidingWindow;
 pub use summary::Summary;
 pub use table::Table;

@@ -203,6 +203,40 @@ impl Harness {
         self.results.push(stats);
     }
 
+    /// Records externally measured statistics under this target, as if
+    /// they came from a [`bench`](Self::bench) run. The closure-based
+    /// harness times short repeatable iterations; some measurements —
+    /// an open-loop load run with per-request latency percentiles —
+    /// are one long experiment whose statistics are computed by the
+    /// experiment itself. Such callers build a [`BenchStats`] and hand
+    /// it in here, and it merges into `BENCH_results.json` alongside
+    /// everything else (and obeys the CLI name filter).
+    pub fn record(&mut self, stats: BenchStats) {
+        if let Some(filter) = &self.filter {
+            if !stats.name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let tput = match stats.throughput_elems_per_sec() {
+            Some(t) => format!("  ({} elems/s)", human(t)),
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<40} median {:>12}  p95 {:>12}{tput}",
+            self.target,
+            stats.name,
+            human_ns(stats.median_ns),
+            human_ns(stats.p95_ns),
+        );
+        self.results.push(stats);
+    }
+
+    /// Whether the harness is in CI smoke mode (`BENCH_SMOKE=1`):
+    /// externally measured experiments should shrink accordingly.
+    pub fn smoke(&self) -> bool {
+        self.smoke
+    }
+
     /// Prints a summary and merges this target's results into
     /// `BENCH_results.json`. Call exactly once, at the end of `main`.
     pub fn finish(self) {

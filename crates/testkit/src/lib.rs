@@ -5,7 +5,7 @@
 //! `cargo build --offline` / `cargo test --offline` work on a machine
 //! that has never seen a registry.
 //!
-//! Four subsystems:
+//! Five subsystems:
 //!
 //! * [`rng`] — a deterministic, seedable PRNG (xoshiro256++ seeded via
 //!   SplitMix64) with the uniform / normal / exponential / Pareto /
@@ -22,6 +22,9 @@
 //! * [`par`] — an ordered, deterministic fork-join map over
 //!   `std::thread::scope`, used to parallelize experiment sweeps while
 //!   keeping result aggregation byte-identical to a sequential run.
+//! * [`arrivals`] — seeded open-loop arrival schedules (Poisson or
+//!   uniform pacing) for load generators; the same seed always yields
+//!   the byte-identical schedule.
 //!
 //! [`json`] is the tiny JSON reader/writer the bench harness uses to
 //! merge results across bench binaries; it is public because tests and
@@ -30,13 +33,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod bench;
 pub mod json;
 pub mod par;
 pub mod prop;
 pub mod rng;
 
-pub use bench::{atomic_write, Harness};
+pub use arrivals::Arrivals;
+pub use bench::{atomic_write, BenchStats, Harness};
 pub use par::{default_jobs, par_map, par_map_mut};
 pub use prop::{Checker, Gen};
 pub use rng::Rng;
