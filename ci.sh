@@ -45,6 +45,22 @@ echo "== tier 1: live load-gen smoke (offline) =="
 cargo run -q --release --offline -p cidre-bench --bin live_load -- \
   --smoke --no-report
 
+echo "== tier 1: pareto sweep smoke (offline) =="
+# The cost-ledger Pareto frontier (DESIGN.md §11): run the sweep twice
+# at tiny scale into scratch dirs and require byte-identical CSVs —
+# the cheap end-to-end determinism check; the golden hash, --jobs, and
+# shard-count pins live in tests/determinism.rs.
+pareto_a="$(mktemp -d)"
+pareto_b="$(mktemp -d)"
+trap 'rm -rf "$pareto_a" "$pareto_b"' EXIT
+cargo run -q --release --offline -p cidre-bench --bin experiments -- \
+  pareto --tiny --out "$pareto_a"
+cargo run -q --release --offline -p cidre-bench --bin experiments -- \
+  pareto --tiny --out "$pareto_b"
+cmp "$pareto_a/pareto.csv" "$pareto_b/pareto.csv"
+rm -rf "$pareto_a" "$pareto_b"
+trap - EXIT
+
 echo "== bench smoke (offline) =="
 # Seconds-long pass over all bench targets; merges median/p95 stats
 # into BENCH_results.json and proves the harness end-to-end. The
@@ -57,8 +73,8 @@ BENCH_SMOKE=1 cargo bench --offline
 
 echo "== bench lane: live load serving (offline) =="
 # Re-run the load-gen smoke with reporting on: merges the sustained
-# req/s and live p99 wait lanes (live_load/serve_smoke/*) into
-# BENCH_results.json for bench_guard to ratchet.
+# req/s, live p99 wait, and GB-s/request lanes (live_load/serve_smoke/*)
+# into BENCH_results.json for bench_guard to ratchet.
 cargo run -q --release --offline -p cidre-bench --bin live_load -- --smoke
 
 echo "== bench guard: large-N throughput + sharded scaling + live lanes =="
@@ -69,7 +85,9 @@ echo "== bench guard: large-N throughput + sharded scaling + live lanes =="
 # >=4-CPU hosts, an overhead bound on narrower ones — or regresses
 # >20% vs its committed baseline. The live serving lanes ratchet too,
 # at a looser 35% (wall-clock noise): sustained req/s may not fall,
-# and live p99 wait may not grow, past that band.
+# and live p99 wait may not grow, past that band. The memory ratchet
+# (serve_smoke/gbs_per_req, deterministic sim-side GB-s per request)
+# holds the tight 20% band: the keep-warm bill may not quietly grow.
 cargo run -q --release --offline -p cidre-bench --bin bench_guard -- \
   "$baseline" BENCH_results.json
 

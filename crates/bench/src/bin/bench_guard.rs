@@ -23,7 +23,14 @@
 //!   (`serve_smoke/p99_wait`, stored in `median_ns`, lower is better)
 //!   grew more than 35% above it. The live lane races the wall clock
 //!   end to end — reactor, executor, OS scheduler — so its threshold
-//!   is looser than the microbenchmark ratchets.
+//!   is looser than the microbenchmark ratchets, or
+//! * the memory bill regressed: GB-seconds per served request on the
+//!   live workload (`serve_smoke/gbs_per_req`, stored raw in
+//!   `median_ns`, lower is better) grew more than 20% above the
+//!   committed baseline. The value comes from the deterministic
+//!   simulator side of the `live_load` run, so the tight ratchet is
+//!   safe — any drift is a real cost-model or policy change, not
+//!   noise.
 //!
 //! Both files use the testkit harness schema; comparisons are on
 //! `throughput_elems_per_sec`, which is scenario-invariant between
@@ -250,6 +257,49 @@ fn main() -> ExitCode {
         },
         None => {
             eprintln!("bench_guard: current run lacks live_load/serve_smoke/p99_wait");
+            ok = false;
+        }
+    }
+
+    // Gate 5: the keep-warm memory ratchet — GB-seconds per served
+    // request (deterministic, lower is better) may not grow >20%
+    // against the committed baseline.
+    match bench_field(
+        &current,
+        "live_load",
+        "serve_smoke/gbs_per_req",
+        "median_ns",
+    ) {
+        Some(gbs) => {
+            match bench_field(
+                &baseline,
+                "live_load",
+                "serve_smoke/gbs_per_req",
+                "median_ns",
+            ) {
+                Some(base) if base > 0.0 => {
+                    let ceiling = base * (1.0 + MAX_REGRESSION);
+                    if gbs > ceiling {
+                        eprintln!(
+                            "bench_guard: serve_smoke/gbs_per_req regressed: {gbs:.4} GB-s/req > \
+                             {ceiling:.4} (baseline {base:.4} + {:.0}%)",
+                            MAX_REGRESSION * 100.0
+                        );
+                        ok = false;
+                    } else {
+                        println!(
+                            "bench_guard: serve_smoke/gbs_per_req {gbs:.4} GB-s/req vs \
+                             baseline {base:.4} (ok)"
+                        );
+                    }
+                }
+                _ => println!(
+                    "bench_guard: no baseline for serve_smoke/gbs_per_req; skipping ratchet"
+                ),
+            }
+        }
+        None => {
+            eprintln!("bench_guard: current run lacks live_load/serve_smoke/gbs_per_req");
             ok = false;
         }
     }

@@ -1,7 +1,7 @@
 //! CLI for the CIDRE experiment suite.
 //!
 //! ```text
-//! experiments <name|all|list> [--quick] [--out DIR] [--seed N] [--jobs N]
+//! experiments <name|all|list> [--quick] [--tiny] [--out DIR] [--seed N] [--jobs N]
 //!                             [--policies A,B] [--caches-gb N,M] [--workload azure|fc]
 //! ```
 
@@ -14,6 +14,7 @@ use cidre_bench::{registry, run_by_name, ExpCtx, Workload};
 fn usage() {
     eprintln!("usage: experiments <name|all|list> [flags]");
     eprintln!("  --quick           reduced scale (fewer functions, shorter traces)");
+    eprintln!("  --tiny            miniature scale (CI smoke; same as the goldens)");
     eprintln!("  --out DIR         CSV output directory (default: results)");
     eprintln!("  --seed N          workload generation seed (default: 42)");
     eprintln!("  --jobs N          worker threads for policy/cache fan-out");
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => ctx.scale = cidre_bench::Scale::Quick,
+            "--tiny" => ctx.scale = cidre_bench::Scale::Tiny,
             "--out" => match args.next() {
                 Some(dir) => ctx.out_dir = PathBuf::from(dir),
                 None => {

@@ -30,6 +30,14 @@
 //! slowest handful of requests — real-time phenomena, so its bound is
 //! a fixed real-millisecond budget that time compression scales into
 //! simulated milliseconds.
+//!
+//! Both sides also report their cost ledgers (DESIGN.md §11). The live
+//! ledger is charged in *virtual* time, so residency is dominated by
+//! the deterministic execution schedule; only container lifetime
+//! decisions (eviction timing, racer outcomes) differ under real
+//! scheduling jitter. Total GB-seconds must therefore agree within a
+//! 25% relative bound — loose enough for lifetime jitter, tight enough
+//! to catch a charge class that drifts or double-counts.
 
 use std::process::ExitCode;
 
@@ -50,6 +58,11 @@ const WAIT_TOLERANCE_MS: f64 = 150.0;
 /// Extra real-time jitter budget for the p999 tail, in *real*
 /// milliseconds; divided by the time scale to land in simulated units.
 const TAIL_JITTER_REAL_MS: f64 = 60.0;
+
+/// Relative live-vs-sim agreement bound on total ledger GB-seconds
+/// (see the module docs for why virtual-time charging keeps this
+/// tight).
+const GBS_TOLERANCE: f64 = 0.25;
 
 /// One load-generator configuration (all times simulated).
 struct Scenario {
@@ -146,6 +159,20 @@ fn ratio_line(report: &SimReport) -> String {
     )
 }
 
+/// One side's cost-ledger columns (DESIGN.md §11), in GB-seconds.
+fn ledger_line(report: &SimReport) -> String {
+    let l = &report.ledger;
+    format!(
+        "keep-warm {:.1} GB-s  idle {:.1} GB-s  cold-start {:.1} GB-s  \
+         speculative {:.1} GB-s  {:.4} GB-s/req",
+        l.keep_warm_gb_s(),
+        l.idle_gb_s(),
+        l.cold_start_gb_s(),
+        l.speculative_gb_s(),
+        report.gb_s_per_request(),
+    )
+}
+
 fn percentile_line(sink: &PercentileSink) -> String {
     let q = |p: f64| sink.quantile(p).unwrap_or(f64::NAN);
     format!(
@@ -232,8 +259,10 @@ fn main() -> ExitCode {
     let live_sink = wait_sink(&live);
     println!("  sim : {}", ratio_line(&simulated));
     println!("        {}", percentile_line(&sim_sink));
+    println!("        {}", ledger_line(&simulated));
     println!("  live: {}", ratio_line(&live));
     println!("        {}", percentile_line(&live_sink));
+    println!("        {}", ledger_line(&live));
     let rps = live.requests.len() as f64 / stats.wall.as_secs_f64();
     println!(
         "  live: {} requests in {:.2} s wall = {:.0} req/s sustained; \
@@ -287,6 +316,16 @@ fn main() -> ExitCode {
             ok = false;
         }
     }
+    {
+        let (s, l) = (simulated.ledger.total_gb_s(), live.ledger.total_gb_s());
+        if (s - l).abs() > GBS_TOLERANCE * s.max(l) {
+            eprintln!(
+                "live_load: total GB-seconds diverged: sim {s:.1} vs live {l:.1} \
+                 (relative bound {GBS_TOLERANCE})"
+            );
+            ok = false;
+        }
+    }
 
     if report_results {
         let mut harness = Harness::new("live_load");
@@ -303,6 +342,17 @@ fn main() -> ExitCode {
         harness.record(external_stat(
             format!("{}/p99_wait", scenario.lane),
             live_sink.quantile(0.99).unwrap_or(0.0) * 1e6,
+            None,
+            live.requests.len() as u64,
+        ));
+        // Memory bill per request, taken from the *deterministic*
+        // simulator side of the same workload (the live side agrees
+        // within GBS_TOLERANCE, checked above). Stored raw in
+        // `median_ns` — a plain scalar, lower is better — so
+        // bench_guard can ratchet it tightly (Gate 5).
+        harness.record(external_stat(
+            format!("{}/gbs_per_req", scenario.lane),
+            simulated.gb_s_per_request(),
             None,
             live.requests.len() as u64,
         ));

@@ -24,5 +24,6 @@ pub mod fig5_6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9_10;
+pub mod pareto;
 pub mod sweep;
 pub mod table1;

@@ -141,6 +141,11 @@ pub fn registry() -> Vec<Experiment> {
             run: experiments::faults::run,
         },
         Experiment {
+            name: "pareto",
+            description: "extra: latency vs memory-cost frontier per policy",
+            run: experiments::pareto::run,
+        },
+        Experiment {
             name: "sweep",
             description: "custom policy x cache sweep (SWEEP_* env vars)",
             run: experiments::sweep::run,

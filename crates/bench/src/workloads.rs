@@ -187,6 +187,15 @@ pub const MAIN_POLICIES: &[&str] = &[
 ///
 /// Panics on an unknown policy name (experiment code is static).
 pub fn stack_by_name(name: &str, trace: &Trace) -> PolicyStack {
+    // `ttl@<secs>s` parameterizes the TTL expiry — the keep-warm
+    // aggressiveness axis of the `pareto` sweep (e.g. `ttl@30s`).
+    if let Some(secs) = name
+        .strip_prefix("ttl@")
+        .and_then(|s| s.strip_suffix('s'))
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        return faas_policies::ttl_stack_with(faas_trace::TimeDelta::from_secs(secs));
+    }
     match name {
         "ttl" => ttl_stack(),
         "lru" => lru_stack(),

@@ -288,7 +288,7 @@ mod tests {
             let i = info(&cl, hot);
             cip.on_evict(&i, &ctx);
         }
-        cl.evict(hot);
+        cl.evict(hot, now);
         // A later admission evicts one cold fn0 container.
         let victim = ContainerId(0);
         let vi = info(&cl, victim);
@@ -301,7 +301,7 @@ mod tests {
             let ctx = PolicyCtx::new(now, &cl, &busy);
             cip.on_evict(&vi, &ctx);
         }
-        cl.evict(victim);
+        cl.evict(victim, now);
         let new_id = cl.begin_provision(FunctionId(0), WorkerId(0), now, false);
         cl.finish_provision(new_id, now);
         {
@@ -334,7 +334,7 @@ mod tests {
             cip.priority(&vi, &ctx)
         };
         assert!(p > 0.0);
-        cl.evict(ContainerId(0)); // cluster-side only; on_evict never fires
+        cl.evict(ContainerId(0), now); // cluster-side only; on_evict never fires
         let new_id = cl.begin_provision(FunctionId(0), WorkerId(0), now, false);
         cl.finish_provision(new_id, now);
         {

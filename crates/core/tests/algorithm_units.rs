@@ -288,8 +288,8 @@ fn cip_clock_inheritance_is_max_evicted_plus_own_term() {
         cip.on_evict(&i0, &ctx);
         cip.on_evict(&i1, &ctx);
     }
-    cl.evict(ContainerId(0));
-    cl.evict(ContainerId(1));
+    cl.evict(ContainerId(0), now);
+    cl.evict(ContainerId(1), now);
     // Admit the replacement; it inherits clock = max(1, 1) = 1.
     let new_id = cl.begin_provision(FunctionId(0), WorkerId(0), now, false);
     cl.finish_provision(new_id, now);

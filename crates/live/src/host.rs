@@ -296,6 +296,10 @@ impl Orchestrator {
             }
             if let Some(reply) = self.shutdown_reply.take() {
                 if self.running == 0 && self.inflight.is_empty() {
+                    // Settle the ledger at its own virtual-time
+                    // high-water mark before reporting.
+                    let settle_at = self.cluster.ledger_hwm();
+                    self.cluster.settle_ledger_at(settle_at);
                     let _ = reply.send(SimReport {
                         requests: std::mem::take(&mut self.records),
                         memory: std::mem::take(&mut self.memory),
@@ -307,6 +311,8 @@ impl Orchestrator {
                         provision_failures: 0,
                         crash_evictions: 0,
                         finished_at: self.finished_at,
+                        ledger: self.cluster.ledger,
+                        ledger_settled_at: settle_at,
                     });
                     return;
                 }
@@ -419,7 +425,7 @@ impl Orchestrator {
                 self.busy_until.remove(&cid);
             }
         }
-        self.cluster.release_thread(cid);
+        self.cluster.release_thread(cid, now);
 
         // Record in simulated units: the exec is the measured wall time
         // mapped back through the compression factor.
@@ -609,6 +615,9 @@ impl Orchestrator {
                 }
             }
         }
+        if !evicted.is_empty() {
+            self.cluster.note_replace_round();
+        }
         let cid = self.cluster.begin_provision(func, worker, now, speculative);
         self.note_memory(now);
         let cinfo = ContainerInfo::from(self.cluster.container(cid).expect("just created"));
@@ -633,7 +642,7 @@ impl Orchestrator {
             .map(|c| c.speculative_unused)
             .unwrap_or(false);
         self.evict_index.leave(cid);
-        let info = self.cluster.evict(cid);
+        let info = self.cluster.evict(cid, now);
         self.note_memory(now);
         let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
         self.policies.keepalive.on_evict(&info, &ctx);

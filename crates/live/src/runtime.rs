@@ -337,6 +337,10 @@ impl<'a> Runtime<'a> {
             self.incomplete, 0,
             "live host stopped with unserved requests"
         );
+        // Settle the ledger at its own high-water mark: the last
+        // charging mutation in virtual time, wall-clock-free.
+        let settle_at = self.cluster.ledger_hwm();
+        self.cluster.settle_ledger_at(settle_at);
         let report = SimReport {
             requests: self.records,
             memory: self.memory,
@@ -346,6 +350,8 @@ impl<'a> Runtime<'a> {
             provision_failures: self.cluster.provision_failures,
             crash_evictions: self.cluster.crash_evictions,
             finished_at: self.finished_at,
+            ledger: self.cluster.ledger,
+            ledger_settled_at: settle_at,
         };
         (report, self.peak_inflight)
     }
@@ -456,7 +462,7 @@ impl<'a> Runtime<'a> {
                 self.busy_until.remove(&cid);
             }
         }
-        self.cluster.release_thread(cid);
+        self.cluster.release_thread(cid, now);
         if let Some(next) = self.cluster.dequeue_local(cid) {
             self.start_exec(cid, next, StartClass::DelayedWarm, now);
             return;
@@ -522,7 +528,7 @@ impl<'a> Runtime<'a> {
         let func = c.func;
         let speculative = c.speculative_unused;
         let attempt = self.attempts.remove(&cid).unwrap_or(0);
-        let info = self.cluster.fail_provision(cid);
+        let info = self.cluster.fail_provision(cid, now);
         self.note_memory(now);
         {
             let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
@@ -581,7 +587,7 @@ impl<'a> Runtime<'a> {
                 }
             }
             self.busy_until.remove(&cid);
-            let (info, local_queued) = self.cluster.crash_evict(cid);
+            let (info, local_queued) = self.cluster.crash_evict(cid, now);
             affected.push(info.func);
             for rid in local_queued {
                 requeue.push((info.func, rid));
@@ -770,6 +776,9 @@ impl<'a> Runtime<'a> {
                 }
             }
         }
+        if !evicted.is_empty() {
+            self.cluster.note_replace_round();
+        }
         let cid = self.cluster.begin_provision(func, worker, now, speculative);
         self.note_memory(now);
         let cinfo = ContainerInfo::from(self.cluster.container(cid).expect("just created"));
@@ -817,7 +826,7 @@ impl<'a> Runtime<'a> {
             .map(|c| c.speculative_unused)
             .unwrap_or(false);
         self.evict_index.leave(cid);
-        let info = self.cluster.evict(cid);
+        let info = self.cluster.evict(cid, now);
         self.note_memory(now);
         let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
         self.policies.keepalive.on_evict(&info, &ctx);

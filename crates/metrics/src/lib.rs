@@ -35,6 +35,7 @@
 mod ascii;
 mod cdf;
 mod histogram;
+mod pareto;
 mod percentile;
 mod quantile;
 mod sink;
@@ -46,6 +47,7 @@ mod timeseries;
 pub use ascii::AsciiChart;
 pub use cdf::Cdf;
 pub use histogram::{Histogram, HistogramBin};
+pub use pareto::{pareto_frontier, ParetoPoint};
 pub use percentile::{mean, median, percentile, std_dev};
 pub use quantile::P2Quantile;
 pub use sink::PercentileSink;

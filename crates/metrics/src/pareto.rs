@@ -1,0 +1,104 @@
+//! Pareto-frontier marking for latency-vs-cost trade-off sweeps.
+//!
+//! The `experiments pareto` sweep plots every policy configuration as a
+//! point with a latency objective (average overhead ratio) and a cost
+//! objective (GB-seconds per served request), both minimized. A point
+//! is on the frontier iff no other point is at least as good on both
+//! axes and strictly better on one. Ties are handled conservatively:
+//! duplicate points dominate each other, so co-located points are all
+//! kept on the frontier.
+
+/// One candidate configuration in a latency-vs-cost sweep.
+///
+/// Both objectives are minimized. `label` identifies the configuration
+/// in the emitted CSV and is not used for dominance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Configuration label (e.g. a policy-stack name).
+    pub label: String,
+    /// Latency objective, minimized (e.g. average overhead ratio).
+    pub latency: f64,
+    /// Cost objective, minimized (e.g. GB-seconds per request).
+    pub cost: f64,
+}
+
+impl ParetoPoint {
+    /// Whether `self` strictly dominates `other`: at least as good on
+    /// both minimized axes and strictly better on one. NaN objectives
+    /// never dominate and are never dominated (all comparisons fail),
+    /// so malformed points fall out as trivial frontier members rather
+    /// than silently deleting their neighbours.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.latency <= other.latency
+            && self.cost <= other.cost
+            && (self.latency < other.latency || self.cost < other.cost)
+    }
+}
+
+/// Marks each point's frontier membership: `true` iff no other point in
+/// `points` strictly dominates it. Returns flags in input order, so
+/// callers can zip them against their rows without re-sorting — the
+/// output order (and therefore the emitted CSV) never depends on the
+/// comparison results. O(n²), which is fine for policy-grid sizes.
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|p| !points.iter().any(|q| q.dominates(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(label: &str, latency: f64, cost: f64) -> ParetoPoint {
+        ParetoPoint {
+            label: label.into(),
+            latency,
+            cost,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let a = pt("a", 1.0, 1.0);
+        let b = pt("b", 1.0, 1.0);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(pt("c", 1.0, 0.5).dominates(&a));
+        assert!(pt("d", 0.5, 1.0).dominates(&a));
+        assert!(!pt("e", 0.5, 2.0).dominates(&a));
+    }
+
+    #[test]
+    fn frontier_keeps_non_dominated_points() {
+        // Classic staircase: (1,4) (2,2) (4,1) on the frontier,
+        // (3,3) dominated by (2,2), (5,5) dominated by everyone.
+        let pts = vec![
+            pt("a", 1.0, 4.0),
+            pt("b", 3.0, 3.0),
+            pt("c", 2.0, 2.0),
+            pt("d", 5.0, 5.0),
+            pt("e", 4.0, 1.0),
+        ];
+        assert_eq!(pareto_frontier(&pts), vec![true, false, true, false, true]);
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        let pts = vec![pt("a", 1.0, 1.0), pt("b", 1.0, 1.0), pt("c", 2.0, 2.0)];
+        assert_eq!(pareto_frontier(&pts), vec![true, true, false]);
+    }
+
+    #[test]
+    fn nan_points_neither_dominate_nor_die() {
+        let pts = vec![pt("a", f64::NAN, 1.0), pt("b", 1.0, 1.0)];
+        assert_eq!(pareto_frontier(&pts), vec![true, true]);
+    }
+
+    #[test]
+    fn single_point_is_frontier() {
+        assert_eq!(pareto_frontier(&[pt("a", 9.0, 9.0)]), vec![true]);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

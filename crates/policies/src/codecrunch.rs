@@ -128,7 +128,7 @@ mod tests {
         let mut cc = CodeCrunchKeepAlive::new();
         let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
         cl.finish_provision(id, TimePoint::ZERO);
-        let info = cl.evict(id);
+        let info = cl.evict(id, TimePoint::ZERO);
         cc.on_evict(&info, &PolicyCtx::new(TimePoint::from_secs(1), &cl, &busy));
         assert!(cc.has_compressed(FunctionId(0), TimePoint::from_secs(2)));
         let ctx = PolicyCtx::new(TimePoint::from_secs(2), &cl, &busy);
@@ -145,7 +145,7 @@ mod tests {
         let mut cc = CodeCrunchKeepAlive::new();
         let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
         cl.finish_provision(id, TimePoint::ZERO);
-        let info = cl.evict(id);
+        let info = cl.evict(id, TimePoint::ZERO);
         cc.on_evict(&info, &PolicyCtx::new(TimePoint::ZERO, &cl, &busy));
         let late = TimePoint::from_secs(RETENTION_SECS + 1);
         assert!(!cc.has_compressed(FunctionId(0), late));

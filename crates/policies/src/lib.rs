@@ -69,6 +69,13 @@ pub fn ttl_stack() -> PolicyStack {
     )
 }
 
+/// TTL keep-alive with a caller-chosen expiry, always-cold scaling.
+/// The expiry is the keep-warm-aggressiveness axis of the `pareto`
+/// sweep: longer TTLs buy warm starts with idle GB-seconds.
+pub fn ttl_stack_with(ttl: faas_trace::TimeDelta) -> PolicyStack {
+    PolicyStack::new(Box::new(TtlKeepAlive::new(ttl)), Box::new(AlwaysCold))
+}
+
 /// LRU keep-alive, always-cold scaling.
 pub fn lru_stack() -> PolicyStack {
     PolicyStack::new(Box::new(LruKeepAlive), Box::new(AlwaysCold))
@@ -174,6 +181,25 @@ mod tests {
                 "stack {label} dropped requests"
             );
         }
+    }
+
+    #[test]
+    fn ttl_stack_with_sets_the_expiry() {
+        use faas_trace::TimeDelta;
+        // A one-second TTL must evict far more aggressively than the
+        // 10-minute default on the same workload, trading warm hits
+        // for a smaller resident set.
+        let trace = gen::azure(17).functions(15).minutes(2).build();
+        let cfg = SimConfig::default().workers_mb(vec![8_192]);
+        let short = run(&trace, &cfg, ttl_stack_with(TimeDelta::from_secs(1)));
+        let long = run(&trace, &cfg, ttl_stack_with(TimeDelta::from_minutes(10)));
+        assert_eq!(ttl_stack_with(TimeDelta::from_secs(1)).label(), "ttl+cold");
+        assert!(
+            short.containers_evicted > long.containers_evicted,
+            "short TTL evicted {} vs long {}",
+            short.containers_evicted,
+            long.containers_evicted
+        );
     }
 
     #[test]

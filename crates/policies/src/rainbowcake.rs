@@ -185,7 +185,7 @@ mod tests {
     fn evicted_info(cl: &mut ClusterState, f: u32) -> ContainerInfo {
         let id = cl.begin_provision(FunctionId(f), WorkerId(0), TimePoint::ZERO, false);
         cl.finish_provision(id, TimePoint::ZERO);
-        cl.evict(id)
+        cl.evict(id, TimePoint::ZERO)
     }
 
     #[test]

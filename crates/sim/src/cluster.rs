@@ -10,6 +10,7 @@ use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint};
 use crate::config::{Placement, ScanMode};
 use crate::container::{Container, ContainerInfo, ContainerState};
 use crate::ids::{ContainerId, RequestId, WorkerId};
+use crate::ledger::CostLedger;
 
 /// One simulated server with a fixed memory capacity.
 #[derive(Debug, Clone)]
@@ -109,6 +110,16 @@ pub struct ClusterState {
     /// Containers destroyed by worker crashes (fault injection); also
     /// counted in `containers_evicted`.
     pub crash_evictions: u64,
+    /// Memory-residency costs and scheduling-work counters, charged
+    /// event-by-event by the mutators below (DESIGN.md §11).
+    pub ledger: CostLedger,
+    /// Latest timestamp any ledger-charging mutator ran at: the
+    /// end-of-run settlement point. Post-`finished_at` ticks can still
+    /// evict, so the report's completion time is *not* a safe bound.
+    ledger_hwm: TimePoint,
+    /// Whether [`ClusterState::settle_ledger_at`] already ran (it may
+    /// charge each live container only once).
+    settled: bool,
 }
 
 impl ClusterState {
@@ -185,7 +196,71 @@ impl ClusterState {
             wasted_cold_starts: 0,
             provision_failures: 0,
             crash_evictions: 0,
+            ledger: CostLedger::default(),
+            ledger_hwm: TimePoint::ZERO,
+            settled: false,
         }
+    }
+
+    /// Memory × elapsed-time charge for one container over `[from, now]`
+    /// in MB·µs (saturating at zero for inverted spans, which only the
+    /// live substrate's wall-clock jitter can produce).
+    fn residency(mem_mb: u32, from: TimePoint, now: TimePoint) -> u128 {
+        u128::from(mem_mb) * u128::from(now.saturating_since(from).as_micros())
+    }
+
+    /// Advances the ledger's settlement high-water mark.
+    fn touch_ledger(&mut self, now: TimePoint) {
+        self.ledger_hwm = self.ledger_hwm.max(now);
+    }
+
+    /// Latest timestamp any ledger-charging mutator observed — the
+    /// point [`ClusterState::settle_ledger_at`] must not precede.
+    pub fn ledger_hwm(&self) -> TimePoint {
+        self.ledger_hwm
+    }
+
+    /// Counts one REPLACE admission that evicted at least one victim.
+    pub fn note_replace_round(&mut self) {
+        self.ledger.replace_rounds += 1;
+    }
+
+    /// Charges every still-alive container's residency through `end`,
+    /// closing the ledger at end of run. Must be called exactly once,
+    /// with `end` at or after [`ClusterState::ledger_hwm`] (the sharded
+    /// engine settles every shard at the global maximum so per-shard
+    /// ledgers sum to the sequential ledger).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a second settlement or an `end` before the high-water
+    /// mark — either would corrupt the conservation property.
+    pub fn settle_ledger_at(&mut self, end: TimePoint) {
+        assert!(!self.settled, "ledger settled twice");
+        assert!(
+            end >= self.ledger_hwm,
+            "settling at {end:?} before the last charge at {:?}",
+            self.ledger_hwm
+        );
+        self.settled = true;
+        let mut tail = CostLedger::default();
+        for c in self.containers.values() {
+            match c.state {
+                ContainerState::Provisioning => {
+                    tail.cold_start_mb_us += Self::residency(c.mem_mb, c.created_at, end);
+                }
+                ContainerState::Warm => {
+                    tail.keep_warm_mb_us += Self::residency(c.mem_mb, c.warm_at, end);
+                    if c.threads_in_use == 0 {
+                        tail.idle_mb_us += Self::residency(c.mem_mb, c.idle_from, end);
+                    }
+                    if c.speculative_unused {
+                        tail.speculative_mb_us += Self::residency(c.mem_mb, c.created_at, end);
+                    }
+                }
+            }
+        }
+        self.ledger.merge(&tail);
     }
 
     /// Selects the hot-path implementation (indexed pools vs the
@@ -384,6 +459,7 @@ impl ClusterState {
         );
         w.used_mb += u64::from(profile.mem_mb);
         self.sync_worker(worker);
+        self.touch_ledger(now);
         let id = ContainerId(self.next_container);
         self.next_container += 1;
         self.containers_created += 1;
@@ -397,6 +473,7 @@ impl ClusterState {
             created_at: now,
             warm_at: now,
             last_used: now,
+            idle_from: now,
             served: 0,
             threads_in_use: 0,
             thread_capacity: self.thread_capacity,
@@ -420,8 +497,14 @@ impl ClusterState {
             "container already warm"
         );
         c.state = ContainerState::Warm;
+        // The provisioning phase ends here: charge it and open the
+        // warm/idle phases.
+        let cold_charge = Self::residency(c.mem_mb, c.created_at, now);
         c.warm_at = now;
+        c.idle_from = now;
         let (func, worker) = (c.func, c.worker);
+        self.ledger.cold_start_mb_us += cold_charge;
+        self.touch_ledger(now);
         let rt = self.fn_runtime_mut(func);
         rt.provisioning.remove(&id);
         rt.free_threads.insert(id);
@@ -450,6 +533,12 @@ impl ClusterState {
             "occupy_thread on unavailable container"
         );
         let was_idle = c.threads_in_use == 0;
+        // The idle phase (if any) ends with this dispatch.
+        let idle_charge = if was_idle {
+            Self::residency(c.mem_mb, c.idle_from, now)
+        } else {
+            0
+        };
         c.threads_in_use += 1;
         c.last_used = now;
         c.served += 1;
@@ -461,6 +550,9 @@ impl ClusterState {
             c.is_saturated(),
             u64::from(c.mem_mb),
         );
+        self.ledger.idle_mb_us += idle_charge;
+        self.ledger.dispatches += 1;
+        self.touch_ledger(now);
         let rt = self.fn_runtime_mut(func);
         if saturated {
             rt.free_threads.remove(&id);
@@ -477,18 +569,22 @@ impl ClusterState {
         }
     }
 
-    /// Releases one execution thread on a busy container.
+    /// Releases one execution thread on a busy container. `now` opens
+    /// the ledger's wasted-idle window when the container goes idle.
     ///
     /// # Panics
     ///
     /// Panics if the container has no occupied thread.
-    pub fn release_thread(&mut self, id: ContainerId) {
+    pub fn release_thread(&mut self, id: ContainerId, now: TimePoint) {
         let c = self
             .containers
             .get_mut(&id)
             .expect("release_thread of unknown container");
         assert!(c.threads_in_use > 0, "release_thread on idle container");
         c.threads_in_use -= 1;
+        if c.threads_in_use == 0 {
+            c.idle_from = now;
+        }
         let (func, worker, threads, now_idle, mem) = (
             c.func,
             c.worker,
@@ -496,6 +592,7 @@ impl ClusterState {
             c.threads_in_use == 0,
             u64::from(c.mem_mb),
         );
+        self.touch_ledger(now);
         let rt = self.fn_runtime_mut(func);
         rt.free_threads.insert(id);
         rt.free_pool.set(id, threads);
@@ -509,12 +606,13 @@ impl ClusterState {
     }
 
     /// Evicts a fully idle warm container, releasing its memory. Returns
-    /// its final snapshot.
+    /// its final snapshot. `now` closes the ledger's warm and idle
+    /// windows (and the speculative-waste window for unused racers).
     ///
     /// # Panics
     ///
     /// Panics if the container is not idle.
-    pub fn evict(&mut self, id: ContainerId) -> ContainerInfo {
+    pub fn evict(&mut self, id: ContainerId, now: TimePoint) -> ContainerInfo {
         let c = self
             .containers
             .remove(&id)
@@ -525,9 +623,13 @@ impl ClusterState {
             "evicting container with queued requests"
         );
         let info = ContainerInfo::from(&c);
+        self.ledger.keep_warm_mb_us += Self::residency(c.mem_mb, c.warm_at, now);
+        self.ledger.idle_mb_us += Self::residency(c.mem_mb, c.idle_from, now);
         if c.speculative_unused {
             self.wasted_cold_starts += 1;
+            self.ledger.speculative_mb_us += Self::residency(c.mem_mb, c.created_at, now);
         }
+        self.touch_ledger(now);
         self.containers_evicted += 1;
         let rt = self.fn_runtime_mut(c.func);
         rt.free_threads.remove(&id);
@@ -568,11 +670,15 @@ impl ClusterState {
 
     /// Abandons a provisioning container whose provision failed (fault
     /// injection), releasing its memory. Returns its final snapshot.
+    /// `now` closes the ledger's provisioning window; a failed
+    /// speculative provision burned its whole residency for nobody, so
+    /// it is also charged as speculative waste (mirroring the Ti = ∞
+    /// hint the engine feeds CSS).
     ///
     /// # Panics
     ///
     /// Panics if the container is not in the `Provisioning` state.
-    pub fn fail_provision(&mut self, id: ContainerId) -> ContainerInfo {
+    pub fn fail_provision(&mut self, id: ContainerId, now: TimePoint) -> ContainerInfo {
         let c = self
             .containers
             .remove(&id)
@@ -583,6 +689,11 @@ impl ClusterState {
             "can only fail a provisioning container"
         );
         let info = ContainerInfo::from(&c);
+        self.ledger.cold_start_mb_us += Self::residency(c.mem_mb, c.created_at, now);
+        if c.speculative_unused {
+            self.ledger.speculative_mb_us += Self::residency(c.mem_mb, c.created_at, now);
+        }
+        self.touch_ledger(now);
         self.provision_failures += 1;
         self.fn_runtime_mut(c.func).provisioning.remove(&id);
         self.workers[c.worker.0 as usize].used_mb -= u64::from(c.mem_mb);
@@ -597,16 +708,37 @@ impl ClusterState {
     /// had turned warm counts as a wasted cold start; one that never
     /// finished provisioning does not (it is the engine's job to signal
     /// the scaler about failed provisions, not crashes).
-    pub fn crash_evict(&mut self, id: ContainerId) -> (ContainerInfo, Vec<RequestId>) {
+    pub fn crash_evict(
+        &mut self,
+        id: ContainerId,
+        now: TimePoint,
+    ) -> (ContainerInfo, Vec<RequestId>) {
         let mut c = self
             .containers
             .remove(&id)
             .expect("crash_evict of unknown container");
         let info = ContainerInfo::from(&c);
         let queued: Vec<RequestId> = c.local_queue.drain(..).collect();
+        // Ledger: charge whichever lifecycle phase the crash interrupts
+        // (mid-provision residency goes to the cold-start class).
+        match c.state {
+            ContainerState::Provisioning => {
+                self.ledger.cold_start_mb_us += Self::residency(c.mem_mb, c.created_at, now);
+            }
+            ContainerState::Warm => {
+                self.ledger.keep_warm_mb_us += Self::residency(c.mem_mb, c.warm_at, now);
+                if c.threads_in_use == 0 {
+                    self.ledger.idle_mb_us += Self::residency(c.mem_mb, c.idle_from, now);
+                }
+            }
+        }
         if c.state == ContainerState::Warm && c.speculative_unused {
             self.wasted_cold_starts += 1;
+            // Same warm-only rule as `wasted_cold_starts`: a crash says
+            // nothing about a still-provisioning racer's usefulness.
+            self.ledger.speculative_mb_us += Self::residency(c.mem_mb, c.created_at, now);
         }
+        self.touch_ledger(now);
         self.containers_evicted += 1;
         self.crash_evictions += 1;
         let rt = self.fn_runtime_mut(c.func);
@@ -1147,7 +1279,7 @@ mod tests {
         cl.occupy_thread(id, TimePoint::from_millis(1));
         assert!(cl.workers()[0].idle.is_empty());
         assert_eq!(cl.pick_available(FunctionId(0)), None);
-        cl.release_thread(id);
+        cl.release_thread(id, TimePoint::from_millis(2));
         assert_eq!(cl.pick_available(FunctionId(0)), Some(id));
         assert_eq!(cl.workers()[0].idle.len(), 1);
     }
@@ -1157,7 +1289,7 @@ mod tests {
         let mut cl = cluster(&[1000]);
         let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, true);
         cl.finish_provision(id, TimePoint::ZERO);
-        let info = cl.evict(id);
+        let info = cl.evict(id, TimePoint::from_millis(5));
         assert_eq!(info.id, id);
         assert_eq!(cl.used_mb(), 0);
         assert_eq!(cl.wasted_cold_starts, 1);
@@ -1171,8 +1303,8 @@ mod tests {
         let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, true);
         cl.finish_provision(id, TimePoint::ZERO);
         cl.occupy_thread(id, TimePoint::ZERO);
-        cl.release_thread(id);
-        cl.evict(id);
+        cl.release_thread(id, TimePoint::ZERO);
+        cl.evict(id, TimePoint::ZERO);
         assert_eq!(cl.wasted_cold_starts, 0);
     }
 
@@ -1232,7 +1364,7 @@ mod tests {
         let id = cl.begin_provision(FunctionId(0), WorkerId(0), TimePoint::ZERO, false);
         cl.finish_provision(id, TimePoint::ZERO);
         cl.occupy_thread(id, TimePoint::ZERO);
-        cl.evict(id);
+        cl.evict(id, TimePoint::ZERO);
     }
 
     #[test]

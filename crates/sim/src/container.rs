@@ -42,6 +42,10 @@ pub struct Container {
     pub warm_at: TimePoint,
     /// Last time a request started executing here.
     pub last_used: TimePoint,
+    /// When the container last became fully idle (set when provisioning
+    /// finishes and whenever the occupied-thread count drops to zero);
+    /// the cost ledger charges wasted-idle time from this point.
+    pub idle_from: TimePoint,
     /// Number of requests this container has started executing.
     pub served: u64,
     /// Occupied execution threads.
@@ -132,6 +136,7 @@ mod tests {
             created_at: TimePoint::ZERO,
             warm_at: TimePoint::ZERO,
             last_used: TimePoint::ZERO,
+            idle_from: TimePoint::ZERO,
             served: 0,
             threads_in_use: in_use,
             thread_capacity: threads,

@@ -199,6 +199,11 @@ impl<'a> Simulation<'a> {
             self.incomplete, 0,
             "simulation drained events with unserved requests"
         );
+        // Charge still-resident containers up to the ledger's high-water
+        // mark (the last charging mutation), which is identical across
+        // the sequential and sharded engines.
+        let settle_at = self.cluster.ledger_hwm();
+        self.cluster.settle_ledger_at(settle_at);
         SimReport {
             requests: self.records,
             memory: self.memory,
@@ -208,6 +213,8 @@ impl<'a> Simulation<'a> {
             provision_failures: self.cluster.provision_failures,
             crash_evictions: self.cluster.crash_evictions,
             finished_at: self.finished_at,
+            ledger: self.cluster.ledger,
+            ledger_settled_at: settle_at,
         }
     }
 
@@ -342,7 +349,7 @@ impl<'a> Simulation<'a> {
                 self.busy_until.remove(&cid);
             }
         }
-        self.cluster.release_thread(cid);
+        self.cluster.release_thread(cid, self.now);
 
         // Work conservation: the freed thread serves the container-local
         // queue first, then the function channel.
@@ -423,7 +430,7 @@ impl<'a> Simulation<'a> {
         let func = c.func;
         let speculative = c.speculative_unused;
         let attempt = self.attempts.remove(&cid).unwrap_or(0);
-        let info = self.cluster.fail_provision(cid);
+        let info = self.cluster.fail_provision(cid, self.now);
         self.note_memory();
         {
             let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
@@ -495,7 +502,7 @@ impl<'a> Simulation<'a> {
                 }
             }
             self.busy_until.remove(&cid);
-            let (info, local_queued) = self.cluster.crash_evict(cid);
+            let (info, local_queued) = self.cluster.crash_evict(cid, self.now);
             affected.push(info.func);
             for rid in local_queued {
                 requeue.push((info.func, rid));
@@ -726,6 +733,9 @@ impl<'a> Simulation<'a> {
         evicted: Vec<crate::container::ContainerInfo>,
         attempt: u32,
     ) {
+        if !evicted.is_empty() {
+            self.cluster.note_replace_round();
+        }
         let cid = self
             .cluster
             .begin_provision(func, worker, self.now, speculative);
@@ -795,7 +805,7 @@ impl<'a> Simulation<'a> {
             .map(|c| c.speculative_unused)
             .unwrap_or(false);
         self.evict_index.leave(cid);
-        let info = self.cluster.evict(cid);
+        let info = self.cluster.evict(cid, self.now);
         self.note_memory();
         let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
         self.policies.keepalive.on_evict(&info, &ctx);

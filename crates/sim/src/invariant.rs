@@ -85,7 +85,7 @@ mod tests {
         cl.finish_provision(id, TimePoint::ZERO);
         cl.occupy_thread(id, TimePoint::ZERO);
         cl.mark_worker_down(WorkerId(0));
-        let (info, queued) = cl.crash_evict(id);
+        let (info, queued) = cl.crash_evict(id, TimePoint::ZERO);
         assert_eq!(info.id, id);
         assert!(queued.is_empty());
         assert_eq!(cl.used_mb(), 0);

@@ -38,6 +38,7 @@ mod event;
 mod fault;
 mod ids;
 mod invariant;
+mod ledger;
 mod policy;
 pub mod reference;
 mod report;
@@ -52,6 +53,7 @@ pub use event::{Event, EventQueue};
 pub use fault::{FaultPlan, FaultState};
 pub use ids::{ContainerId, RequestId, WorkerId};
 pub use invariant::InvariantChecker;
+pub use ledger::CostLedger;
 pub use policy::{
     AlwaysCold, KeepAlive, PolicyStack, Prewarm, PriorityDeps, ScaleDecision, Scaler, StartClass,
 };

@@ -3,6 +3,7 @@
 use faas_metrics::{Cdf, Summary, TimeSeries};
 use faas_trace::{FunctionId, TimeDelta, TimePoint};
 
+use crate::ledger::CostLedger;
 use crate::policy::StartClass;
 
 /// Outcome record for one completed request.
@@ -59,6 +60,14 @@ pub struct SimReport {
     pub crash_evictions: u64,
     /// Simulated completion time of the last request.
     pub finished_at: TimePoint,
+    /// Resource-cost ledger: memory residency by lifecycle class plus
+    /// scheduling-work counters (DESIGN.md §11).
+    pub ledger: CostLedger,
+    /// The instant the ledger was settled: the latest charge timestamp
+    /// of the run. Residency tails of containers still alive at the end
+    /// are charged up to exactly this point, so the ledger equals the
+    /// integral of the memory step function over `[0, ledger_settled_at]`.
+    pub ledger_settled_at: TimePoint,
 }
 
 impl SimReport {
@@ -144,6 +153,13 @@ impl SimReport {
             ));
         }
         out
+    }
+
+    /// Memory bill per completed request in GB-seconds — the ratio the
+    /// `bench_guard` memory ratchet and the `pareto` sweep gate on.
+    /// Zero when the report is empty.
+    pub fn gb_s_per_request(&self) -> f64 {
+        self.ledger.gb_s_per_request(self.requests.len() as u64)
     }
 
     /// Time-weighted mean cluster memory usage in GB (Fig. 16).

@@ -60,6 +60,7 @@ use crate::config::{Placement, ScanMode, SimConfig};
 use crate::container::{Container, ContainerInfo};
 use crate::fault::FaultState;
 use crate::ids::{ContainerId, RequestId, WorkerId};
+use crate::ledger::CostLedger;
 use crate::policy::{PolicyStack, ScaleDecision, StartClass};
 use crate::report::{RequestRecord, SimReport};
 use crate::request::RequestInfo;
@@ -356,7 +357,7 @@ impl ShardCore {
                 });
                 self.mini.note_completion(func);
                 remove_busy(&mut self.busy_until, cid, end);
-                self.mini.release_thread(cid);
+                self.mini.release_thread(cid, end);
                 if let Some(next) = self.mini.dequeue_local(cid) {
                     self.start_local(cid, next, StartClass::DelayedWarm, &key, end, trace);
                 } else if let Some(next) = self.mini.fn_runtime_mut(func).pending.pop_flexible() {
@@ -701,6 +702,21 @@ impl<'a> ShardedSim<'a> {
             self.incomplete, 0,
             "simulation drained events with unserved requests"
         );
+        // Settle every mini at the GLOBAL high-water mark — the max over
+        // shards of the last charging mutation — which equals the single
+        // cluster's high-water mark in the sequential engine, so tail
+        // charges match byte-for-byte.
+        let settle_at = self
+            .shards
+            .iter()
+            .map(|s| s.mini.ledger_hwm())
+            .max()
+            .unwrap_or(TimePoint::ZERO);
+        let mut ledger = CostLedger::default();
+        for s in &mut self.shards {
+            s.mini.settle_ledger_at(settle_at);
+            ledger.merge(&s.mini.ledger);
+        }
         SimReport {
             requests: self.records,
             memory: self.memory,
@@ -710,6 +726,8 @@ impl<'a> ShardedSim<'a> {
             provision_failures: self.shards.iter().map(|s| s.mini.provision_failures).sum(),
             crash_evictions: self.shards.iter().map(|s| s.mini.crash_evictions).sum(),
             finished_at: self.finished_at,
+            ledger,
+            ledger_settled_at: settle_at,
         }
     }
 
@@ -1170,7 +1188,7 @@ impl<'a> ShardedSim<'a> {
         let func = self.trace.invocations()[rid.0 as usize].func;
         self.shards[si].mini.note_completion(func);
         remove_busy(&mut self.shards[si].busy_until, cid, self.now);
-        self.shards[si].mini.release_thread(cid);
+        self.shards[si].mini.release_thread(cid, self.now);
         if let Some(next) = self.shards[si].mini.dequeue_local(cid) {
             self.start_exec(cid, next, StartClass::DelayedWarm);
             return;
@@ -1249,7 +1267,7 @@ impl<'a> ShardedSim<'a> {
         let func = c.func;
         let speculative = c.speculative_unused;
         let attempt = self.attempts.remove(&cid).unwrap_or(0);
-        let info = self.shards[si].mini.fail_provision(cid);
+        let info = self.shards[si].mini.fail_provision(cid, self.now);
         self.note_memory();
         {
             let view = MergedView {
@@ -1318,7 +1336,7 @@ impl<'a> ShardedSim<'a> {
             }
             let si = self.owner_of(cid).expect("victim is live");
             self.shards[si].busy_until.remove(&cid);
-            let (info, local_queued) = self.shards[si].mini.crash_evict(cid);
+            let (info, local_queued) = self.shards[si].mini.crash_evict(cid, self.now);
             affected.push(info.func);
             for rid in local_queued {
                 requeue.push((info.func, rid));
@@ -1520,6 +1538,11 @@ impl<'a> ShardedSim<'a> {
         attempt: u32,
     ) {
         let si = self.fn_shard[&func];
+        if !evicted.is_empty() {
+            // Charged to the admitted function's mini; ledgers are summed
+            // at the end, so placement is irrelevant but deterministic.
+            self.shards[si].mini.note_replace_round();
+        }
         self.shards[si]
             .mini
             .align_next_container(self.next_container);
@@ -1571,7 +1594,7 @@ impl<'a> ShardedSim<'a> {
             .container(cid)
             .map(|c| c.speculative_unused)
             .unwrap_or(false);
-        let info = self.shards[si].mini.evict(cid);
+        let info = self.shards[si].mini.evict(cid, self.now);
         self.note_memory();
         let view = MergedView {
             shards: &self.shards,

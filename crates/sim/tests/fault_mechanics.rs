@@ -215,6 +215,146 @@ fn none_plan_reports_zero_fault_counters() {
     assert_eq!(report.crash_evictions, 0);
 }
 
+/// Ledger edge: a crash mid-provision charges the interrupted residency
+/// to the cold-start class (DESIGN.md §11), and the re-provision on the
+/// surviving worker charges its own full window. Every value is exact
+/// integer MB·µs, derived by hand from the event schedule.
+#[test]
+fn ledger_charges_crash_mid_provision_to_cold_start() {
+    // 10 s cold start, crash at 1 s: worker 0's container dies while
+    // provisioning; the request re-provisions on worker 1 (10 s), runs
+    // 50 ms, and the run settles at the final release.
+    let trace = one_fn_trace(&[0], 50, 10_000, 128);
+    let config = SimConfig::default()
+        .workers_mb(vec![1024, 1024])
+        .faults(FaultPlan::none().crash_worker(TimePoint::from_secs(1), WorkerId(0)));
+    let report = run(&trace, &config, baseline_lru_stack());
+    assert_eq!(report.requests.len(), 1);
+    assert_eq!(report.crash_evictions, 1);
+    let l = &report.ledger;
+    // Interrupted provision: 128 MB x 1 s; successful one: 128 MB x 10 s.
+    assert_eq!(l.cold_start_mb_us, 128 * (1_000_000 + 10_000_000));
+    // Warm residency: from warm-up (11 s) to settlement at the release
+    // (11.05 s) — the 50 ms execution window, never idle.
+    assert_eq!(l.keep_warm_mb_us, 128 * 50_000);
+    assert_eq!(l.idle_mb_us, 0);
+    assert_eq!(l.speculative_mb_us, 0);
+    assert_eq!(l.dispatches, 1);
+    assert_eq!(l.replace_rounds, 0);
+    assert_eq!(report.ledger_settled_at, TimePoint::from_millis(11_050));
+}
+
+/// Ledger edge: a crash that kills an idle warm container closes both
+/// the keep-warm window (from warm-up) and the idle window (from the
+/// last release) at the crash instant.
+#[test]
+fn ledger_charges_idle_crash_to_keep_warm_and_idle() {
+    // Warm at 100 ms, executes to 150 ms, idles until the crash at 10 s.
+    let trace = one_fn_trace(&[0], 50, 100, 128);
+    let config = SimConfig::default()
+        .workers_mb(vec![1024, 1024])
+        .faults(FaultPlan::none().crash_worker(TimePoint::from_secs(10), WorkerId(0)));
+    let report = run(&trace, &config, baseline_lru_stack());
+    assert_eq!(report.requests.len(), 1);
+    assert_eq!(report.crash_evictions, 1);
+    let l = &report.ledger;
+    assert_eq!(l.cold_start_mb_us, 128 * 100_000);
+    assert_eq!(l.keep_warm_mb_us, 128 * (10_000_000 - 100_000));
+    assert_eq!(l.idle_mb_us, 128 * (10_000_000 - 150_000));
+    assert_eq!(l.speculative_mb_us, 0);
+    assert_eq!(l.dispatches, 1);
+    assert_eq!(report.ledger_settled_at, TimePoint::from_secs(10));
+}
+
+/// Ledger edge: a speculative racer that *loses* — the busy container
+/// frees first and serves the blocked request — is charged its entire
+/// residency (provisioning + warm) as speculative waste, even though it
+/// was never evicted (`wasted_cold_starts` only counts destroyed
+/// racers; the settlement charge is what makes the loser visible).
+#[test]
+fn ledger_charges_speculative_loser_in_full() {
+    use faas_sim::{LruKeepAlive, PolicyCtx, PolicyStack, RequestInfo, ScaleDecision, Scaler};
+
+    /// Basic speculative scaling: always race a blocked request.
+    #[derive(Debug, Default)]
+    struct AlwaysRace;
+    impl Scaler for AlwaysRace {
+        fn name(&self) -> &str {
+            "race"
+        }
+        fn on_blocked(&mut self, _r: &RequestInfo, _c: &PolicyCtx<'_>) -> ScaleDecision {
+            ScaleDecision::Race
+        }
+    }
+
+    // r1: cold 0 -> 500 ms, executes 500 -> 700. r2 arrives at 600,
+    // blocked behind the busy container; the racer starts at 600 but
+    // only turns warm at 1100 — r1's container frees at 700 and wins.
+    let f = FunctionProfile::new(FunctionId(0), "f", 400, TimeDelta::from_millis(500));
+    let iv = |at_ms: u64, exec_ms: u64| Invocation {
+        func: FunctionId(0),
+        arrival: TimePoint::from_millis(at_ms),
+        exec: TimeDelta::from_millis(exec_ms),
+    };
+    let trace = Trace::new(vec![f], vec![iv(0, 200), iv(600, 200)]).expect("valid");
+    let config = SimConfig::default().workers_mb(vec![2_048]);
+    let stack = PolicyStack::new(Box::new(LruKeepAlive), Box::new(AlwaysRace));
+    let report = run(&trace, &config, stack);
+    assert_eq!(report.requests.len(), 2);
+    assert_eq!(report.requests[1].class, StartClass::DelayedWarm);
+    assert_eq!(report.requests[1].wait, TimeDelta::from_millis(100));
+    let l = &report.ledger;
+    // Two full 500 ms provisions (the winner's and the loser's).
+    assert_eq!(l.cold_start_mb_us, 400 * (500_000 + 500_000));
+    // Winner warm 500 -> settlement at 1100 (the loser's warm-up, the
+    // run's last charge); loser warm for zero time.
+    assert_eq!(l.keep_warm_mb_us, 400 * 600_000);
+    // Winner idle only 900 -> 1100 (r2 occupied it 700 -> 900).
+    assert_eq!(l.idle_mb_us, 400 * 200_000);
+    // The loser's whole life, 600 -> 1100, is speculative waste.
+    assert_eq!(l.speculative_mb_us, 400 * 500_000);
+    assert_eq!(l.dispatches, 2);
+    assert_eq!(l.replace_rounds, 0);
+    // Never destroyed, so the wasted-start *counter* stays zero: the
+    // ledger is what accounts for surviving losers.
+    assert_eq!(report.wasted_cold_starts, 0);
+    assert_eq!(report.ledger_settled_at, TimePoint::from_millis(1_100));
+}
+
+/// Ledger edge: REPLACE evictions that land on sharded epoch barriers
+/// (provision failures, backoff retries, and a mid-run crash all force
+/// rollback/replay around them) must reproduce the sequential ledger
+/// field-for-field — eviction charges are part of cluster state, so
+/// checkpoint restore must rewind them exactly.
+#[test]
+fn ledger_survives_evictions_at_epoch_barriers() {
+    let trace = faas_trace::gen::azure(5).functions(8).minutes(1).build();
+    let config = SimConfig::default().workers_mb(vec![2_048, 2_048]).faults(
+        FaultPlan::none()
+            .seed(9)
+            .provision_failures(0.2)
+            .retry_backoff(TimeDelta::from_millis(50), TimeDelta::from_secs(2))
+            .crash_worker(TimePoint::from_secs(20), WorkerId(0)),
+    );
+    let seq = run(&trace, &config, baseline_lru_stack());
+    assert!(seq.containers_evicted > 0, "workload must evict");
+    assert!(seq.ledger.replace_rounds > 0, "workload must REPLACE");
+    for shards in [2, 8] {
+        let sharded = run(&trace, &config.clone().shards(shards), baseline_lru_stack());
+        let (a, b) = (&sharded.ledger, &seq.ledger);
+        assert_eq!(a.keep_warm_mb_us, b.keep_warm_mb_us, "shards={shards}");
+        assert_eq!(a.idle_mb_us, b.idle_mb_us, "shards={shards}");
+        assert_eq!(a.cold_start_mb_us, b.cold_start_mb_us, "shards={shards}");
+        assert_eq!(a.speculative_mb_us, b.speculative_mb_us, "shards={shards}");
+        assert_eq!(a.dispatches, b.dispatches, "shards={shards}");
+        assert_eq!(a.replace_rounds, b.replace_rounds, "shards={shards}");
+        assert_eq!(
+            sharded.ledger_settled_at, seq.ledger_settled_at,
+            "shards={shards}"
+        );
+    }
+}
+
 /// Regression: a cold-only waiter whose provision is stolen by crash
 /// refugees must not be stranded. Crash refugees are re-queued as
 /// *flexible* entries at the head of the function channel, so the

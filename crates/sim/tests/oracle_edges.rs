@@ -72,7 +72,7 @@ fn dead_workers_drop_out_of_oracle_and_saturation_views() {
 
     cl.mark_worker_down(WorkerId(0));
     for cid in cl.containers_on(WorkerId(0)) {
-        let _ = cl.crash_evict(cid);
+        let _ = cl.crash_evict(cid, TimePoint::from_millis(100));
         busy.remove(&cid);
     }
 
@@ -114,7 +114,7 @@ fn saturation_flips_exactly_at_thread_capacity() {
     assert_eq!(cl.pick_available(FunctionId(0)), None);
 
     // Releasing one thread crosses back below the boundary.
-    cl.release_thread(id);
+    cl.release_thread(id, TimePoint::ZERO);
     {
         let ctx = PolicyCtx::new(TimePoint::ZERO, &cl, &busy);
         assert_eq!(ctx.saturated_count(FunctionId(0)), 0);

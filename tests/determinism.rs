@@ -162,6 +162,10 @@ const CSV_GOLDENS: &[(&str, u64)] = &[
     ("fig12_breakdown_fc.csv", 0xf2ed68933bc5e419),
     ("sweep.csv", 0xf53faaada3036598),
     ("faults.csv", 0x16608f9464ab3ca4),
+    // The ledger-driven Pareto sweep (PR 8): pins every cost column —
+    // GB-seconds by charge class, the per-request bill, the work
+    // counters — and the frontier flags.
+    ("pareto.csv", 0x0ef09de4488a9cc5),
 ];
 
 #[test]
@@ -179,7 +183,7 @@ fn experiment_csv_outputs_match_pinned_goldens() {
         caches_gb: Some(vec![80, 100, 120]),
         workload: Some(cidre_bench::Workload::Azure),
     };
-    for exp in ["fig12", "sweep", "faults"] {
+    for exp in ["fig12", "sweep", "faults", "pareto"] {
         assert!(
             cidre_bench::run_by_name(exp, &ctx),
             "unknown experiment {exp}"
@@ -200,6 +204,73 @@ fn experiment_csv_outputs_match_pinned_goldens() {
         "experiment CSVs diverged from pre-refactor goldens:\n{}",
         failures.join("\n")
     );
+}
+
+/// The `pareto` sweep must be a pure function of the context seed:
+/// byte-identical CSV across repeated runs and across `--jobs` values
+/// (scenario results are collected in input order, so the thread count
+/// can never reorder rows or perturb a ledger column).
+#[test]
+fn pareto_csv_identical_across_jobs() {
+    cidre_bench::set_quiet(true);
+    let csv_for = |jobs: usize| -> Vec<u8> {
+        let out =
+            std::env::temp_dir().join(format!("cidre-pareto-jobs{jobs}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&out);
+        let mut ctx = cidre_bench::ExpCtx::tiny();
+        ctx.out_dir = out.clone();
+        ctx.jobs = jobs;
+        assert!(cidre_bench::run_by_name("pareto", &ctx));
+        let bytes = std::fs::read(out.join("pareto.csv")).expect("pareto.csv written");
+        let _ = std::fs::remove_dir_all(&out);
+        bytes
+    };
+    let sequential = csv_for(1);
+    assert_eq!(sequential, csv_for(1), "repeat pareto run diverged");
+    assert_eq!(
+        sequential,
+        csv_for(4),
+        "pareto CSV at jobs=4 diverged from the sequential run"
+    );
+}
+
+/// Every cell of the pareto grid — policy × fault plan, exactly as the
+/// sweep builds them — must be shard-count invariant, ledger included:
+/// the frontier CSV would otherwise depend on a performance knob
+/// (DESIGN.md §9 and §11).
+#[test]
+fn pareto_grid_reports_identical_across_shard_counts() {
+    use cidre_bench::experiments::{faults::plan_for, pareto};
+    use cidre_bench::workloads::stack_by_name;
+    let ctx = cidre_bench::ExpCtx::tiny();
+    let trace = ctx.trace(cidre_bench::Workload::Azure);
+    for &rate in pareto::FAULT_RATES {
+        for policy in pareto::POLICIES {
+            let base = ctx.sim_config(240).faults(plan_for(ctx.seed, rate));
+            let seq = format!(
+                "{:?}",
+                run(
+                    &trace,
+                    &base.clone().shards(1),
+                    stack_by_name(policy, &trace)
+                )
+            );
+            for shards in [2, 8] {
+                let a = format!(
+                    "{:?}",
+                    run(
+                        &trace,
+                        &base.clone().shards(shards),
+                        stack_by_name(policy, &trace)
+                    )
+                );
+                assert_eq!(
+                    a, seq,
+                    "{policy} at fault rate {rate}: shards={shards} diverged from sequential"
+                );
+            }
+        }
+    }
 }
 
 #[test]

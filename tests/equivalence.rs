@@ -5,8 +5,10 @@
 //! structures (`ScanMode::Indexed`, the default), the retained naive
 //! scans (`ScanMode::Reference`, the oracle), and the sharded parallel
 //! engine (`shards > 1`, DESIGN.md §9). Random workloads through all
-//! three must produce byte-identical reports — any divergence is a bug
-//! in the index maintenance or the epoch-barrier protocol, and the
+//! three must produce byte-identical reports — including every field of
+//! the cost ledger (DESIGN.md §11), compared individually so a charge
+//! class that diverges is named — any divergence is a bug in the index
+//! maintenance, the epoch-barrier protocol, or the ledger merge, and the
 //! testkit runner shrinks it to a minimal sequence automatically. The
 //! shard count is drawn from the choice stream too, so shrinking also
 //! minimizes the number of shards needed to reproduce a failure.
@@ -22,7 +24,8 @@ use cidre::policies::{
     faascache_stack, GdsfKeepAlive, GreedyDualKeepAlive, LfuKeepAlive, TtlKeepAlive,
 };
 use cidre::sim::{
-    baseline_lru_stack, run, AlwaysCold, FaultPlan, PolicyStack, ScanMode, SimConfig, WorkerId,
+    baseline_lru_stack, run, AlwaysCold, FaultPlan, PolicyStack, ScanMode, SimConfig, SimReport,
+    WorkerId,
 };
 use cidre::trace::{FunctionId, FunctionProfile, Invocation, TimeDelta, TimePoint, Trace};
 use faas_testkit::{Checker, Gen};
@@ -108,6 +111,36 @@ fn arb_shards(g: &mut Gen) -> usize {
     menu[g.usize(0..menu.len())]
 }
 
+/// Field-by-field cost-ledger comparison (DESIGN.md §11). The Debug
+/// equality below already covers the ledger byte-for-byte; naming the
+/// diverging charge class here makes a settlement or merge bug
+/// diagnosable from the failure message alone.
+fn assert_ledgers_match(label: &str, engines: &str, a: &SimReport, b: &SimReport) {
+    let (x, y) = (&a.ledger, &b.ledger);
+    assert_eq!(
+        x.keep_warm_mb_us, y.keep_warm_mb_us,
+        "{label}: {engines}: keep_warm_mb_us"
+    );
+    assert_eq!(x.idle_mb_us, y.idle_mb_us, "{label}: {engines}: idle_mb_us");
+    assert_eq!(
+        x.cold_start_mb_us, y.cold_start_mb_us,
+        "{label}: {engines}: cold_start_mb_us"
+    );
+    assert_eq!(
+        x.speculative_mb_us, y.speculative_mb_us,
+        "{label}: {engines}: speculative_mb_us"
+    );
+    assert_eq!(x.dispatches, y.dispatches, "{label}: {engines}: dispatches");
+    assert_eq!(
+        x.replace_rounds, y.replace_rounds,
+        "{label}: {engines}: replace_rounds"
+    );
+    assert_eq!(
+        a.ledger_settled_at, b.ledger_settled_at,
+        "{label}: {engines}: ledger_settled_at"
+    );
+}
+
 /// Runs `trace` under both sequential scan modes and the sharded
 /// engine, demanding byte-identical reports from all three.
 fn assert_engines_agree(trace: &Trace, config: &SimConfig, shards: usize) {
@@ -121,6 +154,7 @@ fn assert_engines_agree(trace: &Trace, config: &SimConfig, shards: usize) {
             eprintln!("  stack={label} engine=reference");
         }
         let reference = run(trace, &config.clone().scan_mode(ScanMode::Reference), mk());
+        assert_ledgers_match(label, "indexed vs reference", &indexed, &reference);
         assert_eq!(
             format!("{indexed:?}"),
             format!("{reference:?}"),
@@ -130,6 +164,7 @@ fn assert_engines_agree(trace: &Trace, config: &SimConfig, shards: usize) {
             eprintln!("  stack={label} engine=sharded({shards})");
         }
         let sharded = run(trace, &config.clone().shards(shards), mk());
+        assert_ledgers_match(label, "sharded vs indexed", &sharded, &indexed);
         assert_eq!(
             format!("{sharded:?}"),
             format!("{indexed:?}"),

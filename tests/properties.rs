@@ -173,6 +173,85 @@ fn simulator_invariants_hold_on_proptest_regression_cc66256b() {
     assert_simulator_invariants(&trace);
 }
 
+/// Integrates the recorded memory step function over
+/// `[0, until_us]` exactly, in MB·µs. Samples are whole MB held
+/// between event timestamps, so the integral is an integer; the last
+/// sample's value extends to `until_us` (the ledger settlement point).
+fn integrate_memory_mb_us(memory: &cidre::metrics::TimeSeries, until_us: u64) -> u128 {
+    let points: Vec<(u64, f64)> = memory.iter().collect();
+    let mut total: u128 = 0;
+    for pair in points.windows(2) {
+        let (t0, v) = pair[0];
+        let (t1, _) = pair[1];
+        assert_eq!(v.fract(), 0.0, "memory samples are whole MB");
+        total += (v as u128) * u128::from(t1 - t0);
+    }
+    if let Some(&(t_last, v_last)) = points.last() {
+        assert!(
+            until_us >= t_last,
+            "settlement {until_us} precedes last memory sample {t_last}"
+        );
+        total += (v_last as u128) * u128::from(until_us - t_last);
+    }
+    total
+}
+
+/// GB-seconds conservation (DESIGN.md §11): the ledger charges every
+/// container's residency to exactly one lifecycle class, so
+/// `cold_start + keep_warm` must equal the independently-integrated
+/// memory timeline — exactly, in integer MB·µs. The overlay classes
+/// (idle, speculative) must stay within their parents.
+#[test]
+fn ledger_conserves_gb_seconds_on_random_traces() {
+    checker("ledger_conserves_gb_seconds_on_random_traces").run(|g| {
+        let trace = arb_trace(g);
+        let config = SimConfig::default().workers_mb(vec![2_048, 2_048]);
+        for stack in stacks() {
+            let label = stack.label();
+            let report = run(&trace, &config, stack);
+            let integrated =
+                integrate_memory_mb_us(&report.memory, report.ledger_settled_at.as_micros());
+            assert_eq!(
+                report.ledger.total_mb_us(),
+                integrated,
+                "{label}: ledger total diverges from integrated residency"
+            );
+            assert!(
+                report.ledger.idle_mb_us <= report.ledger.keep_warm_mb_us,
+                "{label}: idle exceeds keep-warm"
+            );
+            assert!(
+                report.ledger.speculative_mb_us <= report.ledger.total_mb_us(),
+                "{label}: speculative exceeds total residency"
+            );
+            assert!(
+                report.ledger.dispatches >= report.requests.len() as u64,
+                "{label}: fewer dispatches than completed requests"
+            );
+        }
+    });
+}
+
+/// An explicit `FaultPlan::none()` must be byte-identical to the
+/// default (fault-free) configuration, ledger included: threading the
+/// cost accounting through the engines must not add a single RNG draw
+/// or reorder a single event.
+#[test]
+fn none_fault_plan_leaves_ledger_untouched() {
+    use cidre::sim::FaultPlan;
+    checker("none_fault_plan_leaves_ledger_untouched").run(|g| {
+        let trace = arb_trace(g);
+        let config = SimConfig::default().workers_mb(vec![2_048, 2_048]);
+        let baseline = run(&trace, &config, cidre_stack(CidreConfig::default()));
+        let with_plan = run(
+            &trace,
+            &config.clone().faults(FaultPlan::none()),
+            cidre_stack(CidreConfig::default()),
+        );
+        assert_eq!(format!("{baseline:?}"), format!("{with_plan:?}"));
+    });
+}
+
 #[test]
 fn simulator_is_deterministic() {
     checker("simulator_is_deterministic").run(|g| {
