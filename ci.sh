@@ -16,7 +16,8 @@ cargo clippy --offline --workspace -- -D warnings
 echo "== lint: cidre-lint (determinism & safety ratchet) =="
 # In-tree static analyzer (crates/lint): W1 wall-clock, O1 unordered
 # hash iteration, F1 partial_cmp, C1 lossy time/mem casts, E1 ambient
-# entropy, U1 bare unwrap. Fails on any violation not accepted by
+# entropy, U1 bare unwrap, P1 library printing. Fails on any
+# violation not accepted by
 # lint-baseline.toml, on a stale baseline, and on any unjustified
 # `lint:allow`. See DESIGN.md §8.
 cargo run -q --release --offline -p cidre-lint
@@ -61,6 +62,26 @@ cmp "$pareto_a/pareto.csv" "$pareto_b/pareto.csv"
 rm -rf "$pareto_a" "$pareto_b"
 trap - EXIT
 
+echo "== tier 1: trace export smoke (offline) =="
+# The observability sweep (DESIGN.md §12): run the latency-waterfall
+# experiment twice at tiny scale and require the CSV *and* every
+# Chrome trace-event export byte-identical — recording must be as
+# deterministic as the runs it records. Shard-count and --jobs
+# invariance plus the golden hash live in tests/determinism.rs.
+trace_a="$(mktemp -d)"
+trace_b="$(mktemp -d)"
+trap 'rm -rf "$trace_a" "$trace_b"' EXIT
+cargo run -q --release --offline -p cidre-bench --bin experiments -- \
+  trace --tiny --out "$trace_a"
+cargo run -q --release --offline -p cidre-bench --bin experiments -- \
+  trace --tiny --out "$trace_b"
+cmp "$trace_a/trace.csv" "$trace_b/trace.csv"
+for policy in faascache cidre-bss cidre; do
+  cmp "$trace_a/trace_$policy.json" "$trace_b/trace_$policy.json"
+done
+rm -rf "$trace_a" "$trace_b"
+trap - EXIT
+
 echo "== bench smoke (offline) =="
 # Seconds-long pass over all bench targets; merges median/p95 stats
 # into BENCH_results.json and proves the harness end-to-end. The
@@ -88,6 +109,9 @@ echo "== bench guard: large-N throughput + sharded scaling + live lanes =="
 # and live p99 wait may not grow, past that band. The memory ratchet
 # (serve_smoke/gbs_per_req, deterministic sim-side GB-s per request)
 # holds the tight 20% band: the keep-warm bill may not quietly grow.
+# The recorder-off gate holds replay/large_n (which runs with the
+# NoopRecorder) within 2% of the committed baseline, best sample vs
+# median, proving the disabled recorder is free (DESIGN.md §12).
 cargo run -q --release --offline -p cidre-bench --bin bench_guard -- \
   "$baseline" BENCH_results.json
 

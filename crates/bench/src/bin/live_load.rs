@@ -274,6 +274,10 @@ fn main() -> ExitCode {
         stats.peak_tasks,
         stats.workers,
     );
+    println!(
+        "  live: peak blocking threads {}, timer fires {}",
+        stats.peak_blocking_threads, stats.timer_fires,
+    );
 
     let mut ok = true;
     if live.requests.len() != trace.len() {
@@ -353,6 +357,23 @@ fn main() -> ExitCode {
         harness.record(external_stat(
             format!("{}/gbs_per_req", scenario.lane),
             simulated.gb_s_per_request(),
+            None,
+            live.requests.len() as u64,
+        ));
+        // Executor concurrency counters, stored as plain scalars in
+        // `median_ns`: the blocking-pool high-water mark tracks
+        // concurrently *running* handlers (a thread-per-request
+        // regression shows up here first), and timer fires count every
+        // scheduled event the reactor actually delivered.
+        harness.record(external_stat(
+            format!("{}/peak_blocking", scenario.lane),
+            stats.peak_blocking_threads as f64,
+            None,
+            live.requests.len() as u64,
+        ));
+        harness.record(external_stat(
+            format!("{}/timer_fires", scenario.lane),
+            stats.timer_fires as f64,
             None,
             live.requests.len() as u64,
         ));

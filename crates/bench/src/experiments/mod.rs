@@ -27,3 +27,4 @@ pub mod fig9_10;
 pub mod pareto;
 pub mod sweep;
 pub mod table1;
+pub mod trace;

@@ -146,6 +146,11 @@ pub fn registry() -> Vec<Experiment> {
             run: experiments::pareto::run,
         },
         Experiment {
+            name: "trace",
+            description: "extra: latency waterfalls + Chrome trace export per policy",
+            run: experiments::trace::run,
+        },
+        Experiment {
             name: "sweep",
             description: "custom policy x cache sweep (SWEEP_* env vars)",
             run: experiments::sweep::run,

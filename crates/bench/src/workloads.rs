@@ -153,11 +153,35 @@ impl ExpCtx {
     /// path (best-effort: failures are printed, not fatal).
     pub fn save_csv(&self, name: &str, table: &Table) {
         if let Err(e) = fs::create_dir_all(&self.out_dir) {
+            // lint:allow(P1): best-effort artifact write — the failure
+            // must reach the operator even when narration is quiet.
             eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
             return;
         }
         let path = self.out_dir.join(format!("{name}.csv"));
         if let Err(e) = fs::write(&path, table.to_csv()) {
+            // lint:allow(P1): best-effort artifact write — the failure
+            // must reach the operator even when narration is quiet.
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            crate::say!("  [saved {}]", path.display());
+        }
+    }
+
+    /// Writes a raw text artifact (e.g. a Chrome trace-event JSON
+    /// export) under the output directory (best-effort, like
+    /// [`Self::save_csv`]).
+    pub fn save_text(&self, filename: &str, contents: &str) {
+        if let Err(e) = fs::create_dir_all(&self.out_dir) {
+            // lint:allow(P1): best-effort artifact write — the failure
+            // must reach the operator even when narration is quiet.
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(filename);
+        if let Err(e) = fs::write(&path, contents) {
+            // lint:allow(P1): best-effort artifact write — the failure
+            // must reach the operator even when narration is quiet.
             eprintln!("warning: cannot write {}: {e}", path.display());
         } else {
             crate::say!("  [saved {}]", path.display());
@@ -235,7 +259,7 @@ pub fn run_policy_stack(
 }
 
 /// The shared one-line progress marker for a finished simulation run.
-fn say_run(label: &str, report: &SimReport) {
+pub(crate) fn say_run(label: &str, report: &SimReport) {
     crate::say!(
         "  ran {label:<16} cold={:>5.1}% delayed={:>5.1}% warm={:>5.1}% overhead={:>5.1}%",
         report.ratio(faas_sim::StartClass::Cold) * 100.0,

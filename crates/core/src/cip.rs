@@ -117,6 +117,16 @@ impl KeepAlive for CipKeepAlive {
     fn priority(&self, container: &ContainerInfo, ctx: &PolicyCtx<'_>) -> f64 {
         self.compute_priority(container, ctx)
     }
+
+    fn explain(&self) -> Option<String> {
+        // Folding a max over the HashMap is iteration-order-independent,
+        // keeping the note byte-identical across engines (DESIGN.md §12).
+        let max_clock = self.clocks.values().fold(0.0f64, |a, &b| a.max(b));
+        Some(format!(
+            "clocks={} max_clock={max_clock:.3}",
+            self.clocks.len()
+        ))
+    }
 }
 
 #[cfg(test)]

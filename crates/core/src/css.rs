@@ -208,6 +208,13 @@ impl Scaler for CssScaler {
         };
         st.ti = Some((now_us, ti_ms));
     }
+
+    fn explain(&self) -> Option<String> {
+        // Counting over the HashMap is iteration-order-independent,
+        // keeping the note byte-identical across engines (DESIGN.md §12).
+        let off = self.fns.values().filter(|s| !s.bss_enabled).count();
+        Some(format!("bss_off={off}/{}", self.fns.len()))
+    }
 }
 
 #[cfg(test)]

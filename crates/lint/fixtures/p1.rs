@@ -1,0 +1,29 @@
+//! P1 fixture: terminal printing from library code.
+//! Scanned by `tests/corpus.rs` as sim source.
+
+fn positive() {
+    println!("progress: {}", 1);
+    eprintln!("warning: {}", 2);
+}
+
+fn suppressed_trailing() {
+    println!("narration"); // lint:allow(P1): fixture shows a justified trailing allow
+}
+
+fn suppressed_above() {
+    // lint:allow(P1): fixture shows a justified comment-above allow
+    eprintln!("warning");
+}
+
+fn bare_allow_does_not_suppress() {
+    // lint:allow(P1)
+    println!("nope");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_fine() {
+        println!("test output is exempt");
+    }
+}

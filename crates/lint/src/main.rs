@@ -29,7 +29,8 @@ fn main() -> ExitCode {
                      \n\
                      Scans every .rs file in the workspace, applies the rule set\n\
                      (W1 wall-clock, O1 hash iteration, F1 partial_cmp, C1 lossy\n\
-                     casts, E1 ambient entropy, U1 unwrap in hot paths), honours\n\
+                     casts, E1 ambient entropy, U1 unwrap in hot paths, P1 library\n\
+                     printing), honours\n\
                      justified `// lint:allow(RULE): why` comments, and gates the\n\
                      result against lint-baseline.toml (exact match required).\n\
                      --write-baseline regenerates the baseline from the live scan."

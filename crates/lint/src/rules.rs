@@ -15,6 +15,7 @@
 //! | C1   | no lossy `as u64`/`as usize`/`as f64` casts on time/memory arithmetic |
 //! | E1   | no ambient entropy (`RandomState`, `DefaultHasher`, env reads) in sim paths |
 //! | U1   | no `unwrap()` in the pool/engine hot-path crates — `expect("<invariant>")` |
+//! | P1   | no `println!`/`eprintln!` in library code — record via `faas_obs` or return data; binaries/tests exempt |
 //! | A0   | every `lint:allow` carries a justification |
 
 use crate::lexer::{lex, Comment, Token, TokenKind};
@@ -35,6 +36,8 @@ pub enum Rule {
     E1,
     /// `unwrap()` in pool/engine hot paths.
     U1,
+    /// Direct stdout/stderr printing from library code.
+    P1,
     /// `lint:allow` without a justification (or with an unknown rule).
     A0,
 }
@@ -42,7 +45,15 @@ pub enum Rule {
 impl Rule {
     /// All baselinable rules, in display order. `A0` is excluded: an
     /// unjustified allow is always fatal.
-    pub const BASELINABLE: [Rule; 6] = [Rule::W1, Rule::O1, Rule::F1, Rule::C1, Rule::E1, Rule::U1];
+    pub const BASELINABLE: [Rule; 7] = [
+        Rule::W1,
+        Rule::O1,
+        Rule::F1,
+        Rule::C1,
+        Rule::E1,
+        Rule::U1,
+        Rule::P1,
+    ];
 
     /// Stable textual id used in baselines and allow directives.
     pub fn id(self) -> &'static str {
@@ -53,6 +64,7 @@ impl Rule {
             Rule::C1 => "C1",
             Rule::E1 => "E1",
             Rule::U1 => "U1",
+            Rule::P1 => "P1",
             Rule::A0 => "A0",
         }
     }
@@ -66,6 +78,7 @@ impl Rule {
             "C1" => Some(Rule::C1),
             "E1" => Some(Rule::E1),
             "U1" => Some(Rule::U1),
+            "P1" => Some(Rule::P1),
             "A0" => Some(Rule::A0),
             _ => None,
         }
@@ -142,6 +155,7 @@ pub fn analyze_file(ctx: &FileContext, src: &str) -> Vec<Violation> {
     rule_c1(ctx, &lexed.tokens, &in_test, &mut violations);
     rule_e1(ctx, &lexed.tokens, &in_test, &mut violations);
     rule_u1(ctx, &lexed.tokens, &mut violations);
+    rule_p1(ctx, &lexed.tokens, &in_test, &mut violations);
 
     let (allows, mut a0) = parse_allows(&lexed.comments);
     apply_suppressions(&lexed.tokens, &allows, &mut violations);
@@ -480,6 +494,41 @@ fn rule_u1(ctx: &FileContext, tokens: &[Token], out: &mut Vec<Violation>) {
                 message: "`unwrap()` in a pool/engine hot path; use \
                           `expect(\"<violated invariant>\")` naming the invariant"
                     .to_string(),
+            });
+        }
+    }
+}
+
+/// P1: `println!` / `eprintln!` in library code. Observability belongs
+/// in the `faas_obs` recorder (or returned data the caller renders);
+/// ad-hoc stdout writes from a library can't be disabled, captured, or
+/// diffed. Exempt: binaries (`src/bin/`, `src/main.rs`) — a CLI's whole
+/// job is printing — plus test context and the two crates whose product
+/// *is* terminal output (`testkit`'s bench harness, the linter itself).
+fn rule_p1(ctx: &FileContext, tokens: &[Token], in_test: &[bool], out: &mut Vec<Violation>) {
+    if ctx.file_kind == FileKind::TestFile
+        || ctx.crate_name == "testkit"
+        || ctx.crate_name == "lint"
+        || ctx.rel_path.contains("/src/bin/")
+        || ctx.rel_path.ends_with("src/main.rs")
+    {
+        return;
+    }
+    let t = |i: usize| tokens.get(i).map(|t| t.text.as_str()).unwrap_or("");
+    for (i, tok) in tokens.iter().enumerate() {
+        if in_test.get(i).copied().unwrap_or(false) || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if (tok.text == "println" || tok.text == "eprintln") && t(i + 1) == "!" {
+            out.push(Violation {
+                rule: Rule::P1,
+                line: tok.line,
+                message: format!(
+                    "`{}!` in library code; record through faas_obs (or return \
+                     data for the caller to render) instead of writing to the \
+                     terminal",
+                    tok.text
+                ),
             });
         }
     }

@@ -93,6 +93,48 @@ fn u1_corpus() {
 }
 
 #[test]
+fn p1_corpus() {
+    let v = run("p1.rs", "sim");
+    // Two positives plus the print behind the bare allow; the
+    // cfg(test) print and both justified allows are silent.
+    assert_eq!(count(&v, Rule::P1), 3, "{v:?}");
+    assert_eq!(count(&v, Rule::A0), 1, "{v:?}");
+    assert_eq!(v.len(), 4, "{v:?}");
+}
+
+#[test]
+fn p1_exempts_binaries_and_terminal_crates() {
+    use cidre_lint::analyze_file;
+    let src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join("p1.rs"),
+    )
+    .expect("fixture readable");
+    // A binary target, a crate main.rs, and the crates whose product
+    // is terminal output are all out of scope (A0 from the bare allow
+    // still fires — suppression hygiene is never exempt).
+    for (crate_name, rel_path) in [
+        ("bench", "crates/bench/src/bin/experiments.rs"),
+        ("lint", "crates/lint/src/main.rs"),
+        ("lint", "crates/lint/src/rules.rs"),
+        ("testkit", "crates/testkit/src/bench.rs"),
+    ] {
+        let ctx = FileContext {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            file_kind: FileKind::Source,
+        };
+        let v: Vec<(Rule, u32)> = analyze_file(&ctx, &src)
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect();
+        assert_eq!(count(&v, Rule::P1), 0, "{rel_path}: {v:?}");
+        assert_eq!(count(&v, Rule::A0), 1, "{rel_path}: {v:?}");
+    }
+}
+
+#[test]
 fn fixtures_are_silent_outside_their_scoped_crate() {
     // The same source, classified into a crate outside the rule's
     // scope, must not fire (W1/F1 apply everywhere and are exempt).

@@ -151,6 +151,7 @@ impl Executor {
             live_tasks: self.inner.live_tasks(),
             peak_tasks: self.inner.peak_tasks(),
             peak_timers: self.inner.reactor.shared().peak_timers(),
+            timer_fires: self.inner.reactor.shared().timer_fires(),
             peak_blocking_threads: self.inner.blocking.peak_threads(),
         }
     }
@@ -296,6 +297,8 @@ pub struct ExecStats {
     pub peak_tasks: usize,
     /// High-water mark of concurrently registered timers.
     pub peak_timers: usize,
+    /// Total timers the reactor fired over the executor's lifetime.
+    pub timer_fires: u64,
     /// High-water mark of blocking-pool threads.
     pub peak_blocking_threads: usize,
 }
@@ -467,6 +470,11 @@ mod tests {
             stats.peak_timers >= TASKS / 2,
             "peak_timers {} — timers did not overlap",
             stats.peak_timers
+        );
+        assert!(
+            stats.timer_fires >= TASKS as u64,
+            "every sleep fires once: timer_fires {}",
+            stats.timer_fires
         );
         wait_drained(&exec);
         exec.shutdown();

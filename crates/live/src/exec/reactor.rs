@@ -54,6 +54,9 @@ struct ReactorState {
     live: usize,
     /// High-water mark of `live` — the "concurrent timers" statistic.
     peak: usize,
+    /// Total timers actually fired (cancelled registrations that popped
+    /// without waking anything are not counted).
+    fires: u64,
     shutdown: bool,
 }
 
@@ -77,6 +80,10 @@ impl ReactorShared {
     pub(crate) fn peak_timers(&self) -> usize {
         self.state.lock().expect("reactor state lock").peak
     }
+
+    pub(crate) fn timer_fires(&self) -> u64 {
+        self.state.lock().expect("reactor state lock").fires
+    }
 }
 
 /// Handle owning the reactor thread; [`Reactor::stop`] joins it.
@@ -92,6 +99,7 @@ impl Reactor {
                 heap: DeadlineHeap::new(),
                 live: 0,
                 peak: 0,
+                fires: 0,
                 shutdown: false,
             }),
             cvar: Condvar::new(),
@@ -149,6 +157,7 @@ fn run_reactor(shared: &ReactorShared) {
             // run-queue lock, and lock nesting here would order the two
             // locks against every registration site.
             drop(st);
+            let mut fired: u64 = 0;
             for slot in due {
                 let waker = {
                     let mut cell = slot.cell.lock().expect("timer cell lock");
@@ -156,6 +165,7 @@ fn run_reactor(shared: &ReactorShared) {
                         None
                     } else {
                         cell.fired = true;
+                        fired += 1;
                         cell.waker.take()
                     }
                 };
@@ -164,6 +174,7 @@ fn run_reactor(shared: &ReactorShared) {
                 }
             }
             st = shared.state.lock().expect("reactor state lock");
+            st.fires += fired;
             continue;
         }
         st = match st.heap.next_deadline() {

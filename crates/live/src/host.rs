@@ -47,6 +47,7 @@ use std::time::{Duration, Instant};
 
 use faas_core::{EvictionIndex, RoundHeap};
 use faas_metrics::TimeSeries;
+use faas_obs::{EvictReason, NoopRecorder, ObsEvent, Recorder, RingRecorder, TraceLog};
 use faas_sim::{
     ClusterState, ContainerId, ContainerInfo, PolicyCtx, PolicyStack, PriorityDeps, RequestId,
     RequestRecord, ScaleDecision, ScanMode, SimReport, StartClass, WorkerId,
@@ -92,7 +93,7 @@ enum Msg {
     ProvisionDone(ContainerId),
     ExecDone(ContainerId, RequestId, Vec<u8>, Duration),
     Tick,
-    Shutdown(mpsc::Sender<SimReport>),
+    Shutdown(mpsc::Sender<(SimReport, TraceLog)>),
 }
 
 /// A running FaaS host. See the module docs for the lifecycle.
@@ -121,6 +122,33 @@ impl FaasHost {
         stack: PolicyStack,
         deployments: Vec<(FunctionProfile, Handler)>,
     ) -> Self {
+        Self::start_with(config, stack, deployments, NoopRecorder)
+    }
+
+    /// Like [`FaasHost::start`], but with provenance recording enabled:
+    /// [`FaasHost::shutdown_traced`] returns the accumulated
+    /// [`TraceLog`] alongside the report. Event timestamps are virtual
+    /// times derived from the wall clock, so the stream varies run to
+    /// run (live tracing inspects one real execution, it is not a
+    /// determinism oracle).
+    ///
+    /// # Panics
+    ///
+    /// As [`FaasHost::start`].
+    pub fn start_traced(
+        config: LiveConfig,
+        stack: PolicyStack,
+        deployments: Vec<(FunctionProfile, Handler)>,
+    ) -> Self {
+        Self::start_with(config, stack, deployments, RingRecorder::unbounded())
+    }
+
+    fn start_with<R: Recorder + Send + 'static>(
+        config: LiveConfig,
+        stack: PolicyStack,
+        deployments: Vec<(FunctionProfile, Handler)>,
+        rec: R,
+    ) -> Self {
         config.validate();
         let executor = exec::Executor::new(config.exec_threads);
         let (tx, rx) = exec::channel::channel();
@@ -131,6 +159,7 @@ impl FaasHost {
             executor.handle(),
             tx.clone(),
             rx,
+            rec,
         );
         drop(executor.spawn(orchestrator.run()));
         Self {
@@ -153,7 +182,18 @@ impl FaasHost {
     ///
     /// Re-raises the first panic any handler hit (the executor captures
     /// handler panics instead of letting them kill a request thread).
-    pub fn shutdown(mut self) -> SimReport {
+    pub fn shutdown(self) -> SimReport {
+        self.shutdown_traced().0
+    }
+
+    /// Like [`FaasHost::shutdown`], additionally returning the
+    /// provenance [`TraceLog`] — empty unless the host was started with
+    /// [`FaasHost::start_traced`].
+    ///
+    /// # Panics
+    ///
+    /// As [`FaasHost::shutdown`].
+    pub fn shutdown_traced(mut self) -> (SimReport, TraceLog) {
         let (rtx, rrx) = mpsc::channel();
         let _ = self.tx.send(Msg::Shutdown(rtx));
         let report = rrx.recv();
@@ -171,7 +211,7 @@ struct InFlight {
     func: FunctionId,
 }
 
-struct Orchestrator {
+struct Orchestrator<R: Recorder> {
     cluster: ClusterState,
     policies: PolicyStack,
     config: LiveConfig,
@@ -190,7 +230,7 @@ struct Orchestrator {
     memory: TimeSeries,
     running: u64,
     finished_at: TimePoint,
-    shutdown_reply: Option<mpsc::Sender<SimReport>>,
+    shutdown_reply: Option<mpsc::Sender<(SimReport, TraceLog)>>,
     last_memory_us: u64,
     /// Per-worker lazy-deletion heap of eviction candidates, kept warm
     /// across REPLACE rounds when `use_evict_index` is set.
@@ -198,9 +238,12 @@ struct Orchestrator {
     /// Whether cached priorities in `evict_index` are sound for the
     /// configured keep-alive policy (see [`PriorityDeps`]).
     use_evict_index: bool,
+    /// Provenance event sink; [`NoopRecorder`] for untraced hosts.
+    rec: R,
 }
 
-impl Orchestrator {
+impl<R: Recorder> Orchestrator<R> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         config: LiveConfig,
         policies: PolicyStack,
@@ -208,6 +251,7 @@ impl Orchestrator {
         exec: exec::Handle,
         self_tx: exec::channel::Sender<Msg>,
         rx: exec::channel::Receiver<Msg>,
+        rec: R,
     ) -> Self {
         let max_worker = config.sim.workers_mb.iter().copied().max().unwrap_or(0);
         let mut handlers = HashMap::new();
@@ -265,6 +309,7 @@ impl Orchestrator {
             last_memory_us: 0,
             evict_index: EvictionIndex::new(),
             use_evict_index,
+            rec,
         }
     }
 
@@ -300,7 +345,7 @@ impl Orchestrator {
                     // high-water mark before reporting.
                     let settle_at = self.cluster.ledger_hwm();
                     self.cluster.settle_ledger_at(settle_at);
-                    let _ = reply.send(SimReport {
+                    let report = SimReport {
                         requests: std::mem::take(&mut self.records),
                         memory: std::mem::take(&mut self.memory),
                         containers_created: self.cluster.containers_created,
@@ -313,7 +358,8 @@ impl Orchestrator {
                         finished_at: self.finished_at,
                         ledger: self.cluster.ledger,
                         ledger_settled_at: settle_at,
-                    });
+                    };
+                    let _ = reply.send((report, self.rec.take_log()));
                     return;
                 }
                 self.shutdown_reply = Some(reply);
@@ -375,6 +421,16 @@ impl Orchestrator {
                 decision = ScaleDecision::ColdStart;
             }
         }
+        obs!(
+            self.rec,
+            ObsEvent::Admit {
+                at: now,
+                rid: rid.0,
+                func,
+                decision: decision.into(),
+                note: self.policies.scaler.explain(),
+            }
+        );
         match decision {
             ScaleDecision::ColdStart => {
                 self.cluster.fn_runtime_mut(func).pending.push(rid, true);
@@ -396,6 +452,14 @@ impl Orchestrator {
     fn on_provision_done(&mut self, cid: ContainerId) {
         let now = self.now();
         self.cluster.finish_provision(cid, now);
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionEnd {
+                at: now,
+                cid: cid.0,
+                ok: true,
+            }
+        );
         let func = self.cluster.container(cid).expect("just provisioned").func;
         if let Some(rid) = self.pop_pending(func, true) {
             self.start_exec(cid, rid, StartClass::Cold, now);
@@ -415,6 +479,14 @@ impl Orchestrator {
         let now = self.now();
         self.finished_at = self.finished_at.max(now);
         self.running -= 1;
+        obs!(
+            self.rec,
+            ObsEvent::Finish {
+                at: now,
+                rid: rid.0,
+                cid: cid.0,
+            }
+        );
         let flight = self.inflight.remove(&rid).expect("in-flight request");
         self.cluster.note_completion(flight.func);
         if let Some(ends) = self.busy_until.get_mut(&cid) {
@@ -471,7 +543,7 @@ impl Orchestrator {
                 .map(|c| c.is_idle() && c.local_queue.is_empty())
                 .unwrap_or(false);
             if still_idle {
-                self.evict_container(cid, now);
+                self.evict_container(cid, now, EvictReason::Expire);
             }
         }
         if self.policies.prewarm.is_some() {
@@ -508,6 +580,17 @@ impl Orchestrator {
         let (func, arrival, payload) = (flight.func, flight.arrival, flight.payload.clone());
         let wait = now.saturating_since(arrival);
         self.started.insert(rid, (wait, class));
+        obs!(
+            self.rec,
+            ObsEvent::Start {
+                at: now,
+                rid: rid.0,
+                cid: cid.0,
+                func,
+                class: class.into(),
+                wait,
+            }
+        );
         // We do not know the handler's duration ahead of time; busy_until
         // gets a far-future placeholder so oracle queries stay sane.
         self.busy_until
@@ -548,11 +631,30 @@ impl Orchestrator {
     fn request_provision(&mut self, func: FunctionId, speculative: bool, now: TimePoint) {
         let mem = self.cluster.profile(func).mem_mb;
         let Some(worker) = self.cluster.pick_worker(mem) else {
+            obs!(
+                self.rec,
+                ObsEvent::Defer {
+                    at: now,
+                    func,
+                    speculative,
+                }
+            );
             self.deferred.push_back((func, speculative));
             return;
         };
         let mut evicted = Vec::new();
         if self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+            // Victim-selection provenance, snapshotted before the
+            // REPLACE round mutates the idle set (recording path only).
+            if self.rec.enabled() {
+                let candidates = self.eviction_snapshot(worker, now);
+                self.rec.record(ObsEvent::EvictCandidates {
+                    at: now,
+                    worker: worker.0,
+                    incoming: func,
+                    candidates,
+                });
+            }
             // REPLACE mirror of the trace-replay runtime (see
             // `crate::runtime`): cached cross-round heap when priorities
             // allow it, otherwise a per-round snapshot of the idle set.
@@ -572,10 +674,18 @@ impl Orchestrator {
                         })
                     };
                     let Some((_, victim)) = popped else {
+                        obs!(
+                            self.rec,
+                            ObsEvent::Defer {
+                                at: now,
+                                func,
+                                speculative,
+                            }
+                        );
                         self.deferred.push_back((func, speculative));
                         return;
                     };
-                    evicted.push(self.evict_container(victim, now));
+                    evicted.push(self.evict_container(victim, now, EvictReason::Replace));
                 }
             } else {
                 let candidates: Vec<(f64, ContainerId)> = {
@@ -595,10 +705,18 @@ impl Orchestrator {
                         let mut heap = RoundHeap::from_entries(candidates);
                         while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
                             let Some((_, victim)) = heap.pop() else {
+                                obs!(
+                                    self.rec,
+                                    ObsEvent::Defer {
+                                        at: now,
+                                        func,
+                                        speculative,
+                                    }
+                                );
                                 self.deferred.push_back((func, speculative));
                                 return;
                             };
-                            evicted.push(self.evict_container(victim, now));
+                            evicted.push(self.evict_container(victim, now, EvictReason::Replace));
                         }
                     }
                     ScanMode::Reference => {
@@ -606,10 +724,18 @@ impl Orchestrator {
                         let mut victims = sorted.into_iter();
                         while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
                             let Some((_, victim)) = victims.next() else {
+                                obs!(
+                                    self.rec,
+                                    ObsEvent::Defer {
+                                        at: now,
+                                        func,
+                                        speculative,
+                                    }
+                                );
                                 self.deferred.push_back((func, speculative));
                                 return;
                             };
-                            evicted.push(self.evict_container(victim, now));
+                            evicted.push(self.evict_container(victim, now, EvictReason::Replace));
                         }
                     }
                 }
@@ -620,6 +746,19 @@ impl Orchestrator {
         }
         let cid = self.cluster.begin_provision(func, worker, now, speculative);
         self.note_memory(now);
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionBegin {
+                at: now,
+                cid: cid.0,
+                func,
+                worker: worker.0,
+                speculative,
+                // The interactive host has no fault model, hence no
+                // retries: every provision is a first attempt.
+                attempt: 0,
+            }
+        );
         let cinfo = ContainerInfo::from(self.cluster.container(cid).expect("just created"));
         let cold = {
             let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
@@ -635,7 +774,12 @@ impl Orchestrator {
         );
     }
 
-    fn evict_container(&mut self, cid: ContainerId, now: TimePoint) -> ContainerInfo {
+    fn evict_container(
+        &mut self,
+        cid: ContainerId,
+        now: TimePoint,
+        reason: EvictReason,
+    ) -> ContainerInfo {
         let was_unused = self
             .cluster
             .container(cid)
@@ -644,12 +788,43 @@ impl Orchestrator {
         self.evict_index.leave(cid);
         let info = self.cluster.evict(cid, now);
         self.note_memory(now);
+        obs!(
+            self.rec,
+            ObsEvent::Evict {
+                at: now,
+                cid: cid.0,
+                func: info.func,
+                worker: info.worker.0,
+                reason,
+                note: self.policies.keepalive.explain(),
+            }
+        );
         let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
         self.policies.keepalive.on_evict(&info, &ctx);
         if was_unused {
             self.policies.scaler.on_cold_outcome(info.func, None, &ctx);
         }
         info
+    }
+
+    /// Idle containers on `worker` with their keep-alive priorities, in
+    /// eviction order — the [`ObsEvent::EvictCandidates`] provenance
+    /// snapshot. Only called on the recording path.
+    fn eviction_snapshot(&self, worker: WorkerId, now: TimePoint) -> Vec<(u64, f64)> {
+        let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+        let ka = &self.policies.keepalive;
+        let candidates: Vec<(f64, ContainerId)> = self.cluster.workers()[worker.0 as usize]
+            .idle
+            .iter()
+            .map(|&cid| {
+                let cinfo = ctx.container(cid).expect("idle containers are live");
+                (ka.priority(&cinfo, &ctx), cid)
+            })
+            .collect();
+        faas_sim::reference::sorted_eviction_candidates(candidates)
+            .into_iter()
+            .map(|(p, cid)| (cid.0, p))
+            .collect()
     }
 
     /// Enters `cid` into the eviction index if it just became idle,

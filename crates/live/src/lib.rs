@@ -49,6 +49,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Emits a provenance event iff the recorder is enabled: the event
+/// expression (and anything cloned to build it) is only evaluated when
+/// recording, so `NoopRecorder` monomorphizations compile every
+/// emission site to nothing. Same macro as the simulator's.
+macro_rules! obs {
+    ($rec:expr, $ev:expr) => {
+        if $rec.enabled() {
+            let ev = $ev;
+            $rec.record(ev);
+        }
+    };
+}
+
 pub mod exec;
 mod heap;
 mod host;
@@ -56,5 +69,5 @@ mod runtime;
 mod timer;
 
 pub use host::{FaasHost, Handler, InvokeHandle, InvokeOutcome};
-pub use runtime::{run_live, run_live_stats, LiveConfig, LiveStats};
+pub use runtime::{run_live, run_live_stats, run_live_traced, LiveConfig, LiveStats};
 pub use timer::Timer;

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use faas_core::{EvictionIndex, RoundHeap};
 use faas_metrics::TimeSeries;
+use faas_obs::{EvictReason, NoopRecorder, ObsEvent, Recorder, RingRecorder, TraceLog};
 use faas_sim::{
     ClusterState, ContainerId, ContainerInfo, FaultState, PolicyCtx, PolicyStack, PriorityDeps,
     RequestId, RequestRecord, ScaleDecision, ScanMode, SimConfig, SimReport, StartClass, WorkerId,
@@ -94,6 +95,9 @@ pub struct LiveStats {
     pub peak_tasks: usize,
     /// High-water mark of concurrently registered reactor timers.
     pub peak_timers: usize,
+    /// Total reactor timers fired over the run (every scheduled event —
+    /// arrival, completion, tick, retry — fires exactly one).
+    pub timer_fires: u64,
     /// High-water mark of blocking-pool threads.
     pub peak_blocking_threads: usize,
     /// Executor poll threads used.
@@ -139,11 +143,38 @@ pub fn run_live_stats(
     config: &LiveConfig,
     stack: PolicyStack,
 ) -> (SimReport, LiveStats) {
+    let (report, stats, _) = run_live_with(trace, config, stack, NoopRecorder);
+    (report, stats)
+}
+
+/// Like [`run_live_stats`], additionally recording a provenance
+/// [`TraceLog`]. Event timestamps are virtual times derived from the
+/// wall clock, so unlike the simulators the stream varies run to run —
+/// the point of live tracing is inspecting *one* real execution
+/// (waterfalls, Chrome export), not cross-run comparison.
+///
+/// # Panics
+///
+/// As [`run_live`].
+pub fn run_live_traced(
+    trace: &Trace,
+    config: &LiveConfig,
+    stack: PolicyStack,
+) -> (SimReport, LiveStats, TraceLog) {
+    run_live_with(trace, config, stack, RingRecorder::unbounded())
+}
+
+fn run_live_with<R: Recorder>(
+    trace: &Trace,
+    config: &LiveConfig,
+    stack: PolicyStack,
+    rec: R,
+) -> (SimReport, LiveStats, TraceLog) {
     config.validate();
     let executor = exec::Executor::new(config.exec_threads);
     let wall_start = Instant::now();
-    let runtime = Runtime::new(trace, config, stack, executor.handle());
-    let (report, peak_inflight) = executor.block_on(runtime.run());
+    let runtime = Runtime::new(trace, config, stack, executor.handle(), rec);
+    let (report, peak_inflight, log) = executor.block_on(runtime.run());
     let wall = wall_start.elapsed();
     let stats = executor.stats();
     // Cancels leftover event tasks (e.g. a pending tick) and re-raises
@@ -155,14 +186,16 @@ pub fn run_live_stats(
             peak_inflight,
             peak_tasks: stats.peak_tasks,
             peak_timers: stats.peak_timers,
+            timer_fires: stats.timer_fires,
             peak_blocking_threads: stats.peak_blocking_threads,
             workers: stats.workers,
             wall,
         },
+        log,
     )
 }
 
-struct Runtime<'a> {
+struct Runtime<'a, R: Recorder> {
     cluster: ClusterState,
     policies: PolicyStack,
     config: &'a LiveConfig,
@@ -200,14 +233,17 @@ struct Runtime<'a> {
     /// Whether cached priorities in `evict_index` are sound for the
     /// configured keep-alive policy (see [`PriorityDeps`]).
     use_evict_index: bool,
+    /// Provenance event sink; [`NoopRecorder`] for untraced runs.
+    rec: R,
 }
 
-impl<'a> Runtime<'a> {
+impl<'a, R: Recorder> Runtime<'a, R> {
     fn new(
         trace: &Trace,
         config: &'a LiveConfig,
         policies: PolicyStack,
         exec: exec::Handle,
+        rec: R,
     ) -> Self {
         let max_worker = config.sim.workers_mb.iter().copied().max().unwrap_or(0);
         for f in trace.functions() {
@@ -300,6 +336,7 @@ impl<'a> Runtime<'a> {
             peak_inflight: 0,
             evict_index: EvictionIndex::new(),
             use_evict_index,
+            rec,
         }
     }
 
@@ -314,7 +351,7 @@ impl<'a> Runtime<'a> {
         schedule_msg(&self.exec, &self.tx, deadline, msg);
     }
 
-    async fn run(mut self) -> (SimReport, u64) {
+    async fn run(mut self) -> (SimReport, u64, TraceLog) {
         while self.incomplete > 0 {
             let Some(msg) = self.rx.recv().await else {
                 break;
@@ -353,7 +390,7 @@ impl<'a> Runtime<'a> {
             ledger: self.cluster.ledger,
             ledger_settled_at: settle_at,
         };
-        (report, self.peak_inflight)
+        (report, self.peak_inflight, self.rec.take_log())
     }
 
     fn on_arrival(&mut self, rid: RequestId) {
@@ -394,6 +431,16 @@ impl<'a> Runtime<'a> {
                 decision = ScaleDecision::ColdStart;
             }
         }
+        obs!(
+            self.rec,
+            ObsEvent::Admit {
+                at: now,
+                rid: rid.0,
+                func,
+                decision: decision.into(),
+                note: self.policies.scaler.explain(),
+            }
+        );
         match decision {
             ScaleDecision::ColdStart => {
                 self.cluster.fn_runtime_mut(func).pending.push(rid, true);
@@ -422,6 +469,14 @@ impl<'a> Runtime<'a> {
         let now = self.now();
         self.attempts.remove(&cid);
         self.cluster.finish_provision(cid, now);
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionEnd {
+                at: now,
+                cid: cid.0,
+                ok: true,
+            }
+        );
         let func = self.cluster.container(cid).expect("just provisioned").func;
         if let Some(rid) = self.pop_pending(func, true) {
             self.start_exec(cid, rid, StartClass::Cold, now);
@@ -442,6 +497,14 @@ impl<'a> Runtime<'a> {
         self.finished_at = self.finished_at.max(now);
         self.incomplete -= 1;
         self.inflight -= 1;
+        obs!(
+            self.rec,
+            ObsEvent::Finish {
+                at: now,
+                rid: rid.0,
+                cid: cid.0,
+            }
+        );
         if self.fault_active {
             if let Some(runs) = self.running.get_mut(&cid) {
                 if let Some(pos) = runs.iter().position(|&(r, _)| r == rid) {
@@ -488,7 +551,7 @@ impl<'a> Runtime<'a> {
                 .map(|c| c.is_idle() && c.local_queue.is_empty())
                 .unwrap_or(false);
             if still_idle {
-                self.evict_container(cid, now);
+                self.evict_container(cid, now, EvictReason::Expire);
             }
         }
         if self.policies.prewarm.is_some() {
@@ -530,6 +593,14 @@ impl<'a> Runtime<'a> {
         let attempt = self.attempts.remove(&cid).unwrap_or(0);
         let info = self.cluster.fail_provision(cid, now);
         self.note_memory(now);
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionEnd {
+                at: now,
+                cid: cid.0,
+                ok: false,
+            }
+        );
         {
             let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
             self.policies.keepalive.on_evict(&info, &ctx);
@@ -540,8 +611,19 @@ impl<'a> Runtime<'a> {
             }
         }
         let next = attempt + 1;
+        let backoff = self.faults.plan().backoff(next);
+        obs!(
+            self.rec,
+            ObsEvent::RetryScheduled {
+                at: now,
+                func,
+                attempt: next,
+                backoff,
+                speculative,
+            }
+        );
         self.schedule(
-            Instant::now() + scale(self.faults.plan().backoff(next), self.config.time_scale),
+            Instant::now() + scale(backoff, self.config.time_scale),
             Msg::RetryProvision(func, next, speculative),
         );
         self.retry_deferred(now);
@@ -573,6 +655,13 @@ impl<'a> Runtime<'a> {
         let now = self.now();
         self.cluster.mark_worker_down(worker);
         self.evict_index.drop_worker(worker);
+        obs!(
+            self.rec,
+            ObsEvent::WorkerDown {
+                at: now,
+                worker: worker.0,
+            }
+        );
         let victims = self.cluster.containers_on(worker);
         let mut voided: Vec<usize> = Vec::new();
         let mut requeue: Vec<(FunctionId, RequestId)> = Vec::new();
@@ -588,6 +677,17 @@ impl<'a> Runtime<'a> {
             }
             self.busy_until.remove(&cid);
             let (info, local_queued) = self.cluster.crash_evict(cid, now);
+            obs!(
+                self.rec,
+                ObsEvent::Evict {
+                    at: now,
+                    cid: cid.0,
+                    func: info.func,
+                    worker: worker.0,
+                    reason: EvictReason::Crash,
+                    note: None,
+                }
+            );
             affected.push(info.func);
             for rid in local_queued {
                 requeue.push((info.func, rid));
@@ -670,6 +770,17 @@ impl<'a> Runtime<'a> {
             exec,
             class,
         });
+        obs!(
+            self.rec,
+            ObsEvent::Start {
+                at: now,
+                rid: rid.0,
+                cid: cid.0,
+                func,
+                class: class.into(),
+                wait,
+            }
+        );
         if self.fault_active {
             // Track in-flight work so a worker crash can void the record
             // and re-queue the request.
@@ -707,11 +818,32 @@ impl<'a> Runtime<'a> {
     ) {
         let mem = self.cluster.profile(func).mem_mb;
         let Some(worker) = self.cluster.pick_worker(mem) else {
+            obs!(
+                self.rec,
+                ObsEvent::Defer {
+                    at: now,
+                    func,
+                    speculative,
+                }
+            );
             self.deferred.push_back((func, speculative, attempt));
             return;
         };
         let mut evicted = Vec::new();
         if self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
+            // Victim-selection provenance: the recording path snapshots
+            // the idle set before the REPLACE round mutates it. Live
+            // candidates are the full idle set (no local-queue filter),
+            // matching the live REPLACE semantics below.
+            if self.rec.enabled() {
+                let candidates = self.eviction_snapshot(worker, now);
+                self.rec.record(ObsEvent::EvictCandidates {
+                    at: now,
+                    worker: worker.0,
+                    incoming: func,
+                    candidates,
+                });
+            }
             // REPLACE mirror of the simulator: cached cross-round heap
             // when priorities allow it, otherwise a per-round snapshot.
             // Unlike the simulator, live candidates are the full idle
@@ -733,10 +865,18 @@ impl<'a> Runtime<'a> {
                         })
                     };
                     let Some((_, victim)) = popped else {
+                        obs!(
+                            self.rec,
+                            ObsEvent::Defer {
+                                at: now,
+                                func,
+                                speculative,
+                            }
+                        );
                         self.deferred.push_back((func, speculative, attempt));
                         return;
                     };
-                    evicted.push(self.evict_container(victim, now));
+                    evicted.push(self.evict_container(victim, now, EvictReason::Replace));
                 }
             } else {
                 let candidates: Vec<(f64, ContainerId)> = {
@@ -756,10 +896,18 @@ impl<'a> Runtime<'a> {
                         let mut heap = RoundHeap::from_entries(candidates);
                         while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
                             let Some((_, victim)) = heap.pop() else {
+                                obs!(
+                                    self.rec,
+                                    ObsEvent::Defer {
+                                        at: now,
+                                        func,
+                                        speculative,
+                                    }
+                                );
                                 self.deferred.push_back((func, speculative, attempt));
                                 return;
                             };
-                            evicted.push(self.evict_container(victim, now));
+                            evicted.push(self.evict_container(victim, now, EvictReason::Replace));
                         }
                     }
                     ScanMode::Reference => {
@@ -767,10 +915,18 @@ impl<'a> Runtime<'a> {
                         let mut victims = sorted.into_iter();
                         while self.cluster.workers()[worker.0 as usize].free_mb() < mem as u64 {
                             let Some((_, victim)) = victims.next() else {
+                                obs!(
+                                    self.rec,
+                                    ObsEvent::Defer {
+                                        at: now,
+                                        func,
+                                        speculative,
+                                    }
+                                );
                                 self.deferred.push_back((func, speculative, attempt));
                                 return;
                             };
-                            evicted.push(self.evict_container(victim, now));
+                            evicted.push(self.evict_container(victim, now, EvictReason::Replace));
                         }
                     }
                 }
@@ -781,6 +937,17 @@ impl<'a> Runtime<'a> {
         }
         let cid = self.cluster.begin_provision(func, worker, now, speculative);
         self.note_memory(now);
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionBegin {
+                at: now,
+                cid: cid.0,
+                func,
+                worker: worker.0,
+                speculative,
+                attempt,
+            }
+        );
         let cinfo = ContainerInfo::from(self.cluster.container(cid).expect("just created"));
         let cold = {
             let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
@@ -819,7 +986,12 @@ impl<'a> Runtime<'a> {
         );
     }
 
-    fn evict_container(&mut self, cid: ContainerId, now: TimePoint) -> ContainerInfo {
+    fn evict_container(
+        &mut self,
+        cid: ContainerId,
+        now: TimePoint,
+        reason: EvictReason,
+    ) -> ContainerInfo {
         let was_unused = self
             .cluster
             .container(cid)
@@ -828,12 +1000,43 @@ impl<'a> Runtime<'a> {
         self.evict_index.leave(cid);
         let info = self.cluster.evict(cid, now);
         self.note_memory(now);
+        obs!(
+            self.rec,
+            ObsEvent::Evict {
+                at: now,
+                cid: cid.0,
+                func: info.func,
+                worker: info.worker.0,
+                reason,
+                note: self.policies.keepalive.explain(),
+            }
+        );
         let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
         self.policies.keepalive.on_evict(&info, &ctx);
         if was_unused {
             self.policies.scaler.on_cold_outcome(info.func, None, &ctx);
         }
         info
+    }
+
+    /// Idle containers on `worker` with their keep-alive priorities, in
+    /// eviction order — the [`ObsEvent::EvictCandidates`] provenance
+    /// snapshot. Only called on the recording path.
+    fn eviction_snapshot(&self, worker: WorkerId, now: TimePoint) -> Vec<(u64, f64)> {
+        let ctx = PolicyCtx::new(now, &self.cluster, &self.busy_until);
+        let ka = &self.policies.keepalive;
+        let candidates: Vec<(f64, ContainerId)> = self.cluster.workers()[worker.0 as usize]
+            .idle
+            .iter()
+            .map(|&cid| {
+                let cinfo = ctx.container(cid).expect("idle containers are live");
+                (ka.priority(&cinfo, &ctx), cid)
+            })
+            .collect();
+        faas_sim::reference::sorted_eviction_candidates(candidates)
+            .into_iter()
+            .map(|(p, cid)| (cid.0, p))
+            .collect()
     }
 
     /// Enters `cid` into the eviction index if it just became idle,
@@ -1013,6 +1216,22 @@ mod tests {
         );
         assert_eq!(stats.workers, 2);
         assert!(stats.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn traced_run_records_request_lifecycle() {
+        let config = LiveConfig::default().time_scale(0.02);
+        let (report, stats, log) = run_live_traced(&tiny_trace(), &config, baseline_lru_stack());
+        assert_eq!(report.requests.len(), 2);
+        assert!(stats.timer_fires > 0, "scheduled events fire via timers");
+        let count = |pred: fn(&ObsEvent) -> bool| log.events().iter().filter(|e| pred(e)).count();
+        assert_eq!(count(|e| matches!(e, ObsEvent::Start { .. })), 2);
+        assert_eq!(count(|e| matches!(e, ObsEvent::Finish { .. })), 2);
+        // The first request cold-started: admission + provisioning
+        // provenance must be on the trace.
+        assert!(count(|e| matches!(e, ObsEvent::Admit { .. })) >= 1);
+        assert_eq!(count(|e| matches!(e, ObsEvent::ProvisionBegin { .. })), 1);
+        assert_eq!(log.waterfalls().len(), 2);
     }
 
     #[test]

@@ -106,6 +106,95 @@ impl fmt::Display for AsciiChart {
     }
 }
 
+/// A horizontal stacked-bar chart for latency waterfalls: each row is a
+/// labeled bar whose segments (queue, provisioning, retry, execution…)
+/// are drawn with distinct glyphs, scaled into a shared frame so rows
+/// are comparable at a glance.
+///
+/// # Examples
+///
+/// ```
+/// use faas_metrics::AsciiWaterfall;
+///
+/// let mut wf = AsciiWaterfall::new(40, vec!["queue".into(), "exec".into()]);
+/// wf.row("cold", vec![12.0, 30.0]);
+/// wf.row("warm", vec![0.5, 30.0]);
+/// let drawing = wf.to_string();
+/// assert!(drawing.contains("cold"));
+/// assert!(drawing.contains("queue"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiWaterfall {
+    width: usize,
+    segments: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl AsciiWaterfall {
+    /// Creates an empty waterfall with the given bar width in
+    /// characters and the segment names shared by every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `segments` is empty.
+    pub fn new(width: usize, segments: Vec<String>) -> Self {
+        assert!(width > 0, "waterfall width must be positive");
+        assert!(!segments.is_empty(), "waterfall needs at least one segment");
+        Self {
+            width,
+            segments,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a labeled bar; `values` holds one magnitude per segment
+    /// (missing trailing segments are treated as zero).
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        self.rows.push((label.into(), values));
+        self
+    }
+}
+
+impl fmt::Display for AsciiWaterfall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = |values: &[f64]| -> f64 { values.iter().filter(|v| v.is_finite()).sum() };
+        let max_total = self
+            .rows
+            .iter()
+            .map(|(_, v)| total(v))
+            .fold(0.0f64, f64::max);
+        if self.rows.is_empty() || max_total <= 0.0 {
+            return writeln!(f, "(empty waterfall)");
+        }
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, values) in &self.rows {
+            let mut bar = String::with_capacity(self.width);
+            for (si, &v) in values.iter().enumerate().take(self.segments.len()) {
+                if !v.is_finite() || v <= 0.0 {
+                    continue;
+                }
+                let cells = ((v / max_total) * self.width as f64).round() as usize;
+                let glyph = GLYPHS[si % GLYPHS.len()];
+                bar.extend(std::iter::repeat_n(glyph, cells));
+            }
+            bar.truncate(self.width);
+            writeln!(
+                f,
+                "{label:>label_w$} |{bar:<width$}| {:.3}",
+                total(values),
+                width = self.width
+            )?;
+        }
+        let legend: Vec<String> = self
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(si, name)| format!("{} = {name}", GLYPHS[si % GLYPHS.len()]))
+            .collect();
+        writeln!(f, "{:>label_w$}  {}", "", legend.join("  "))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +237,45 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_size_panics() {
         let _ = AsciiChart::new(0, 5);
+    }
+
+    #[test]
+    fn waterfall_scales_rows_and_lists_legend() {
+        let mut wf = AsciiWaterfall::new(20, vec!["queue".into(), "exec".into()]);
+        wf.row("cold", vec![10.0, 10.0]);
+        wf.row("warm", vec![0.0, 10.0]);
+        let s = wf.to_string();
+        assert!(s.contains("cold"));
+        assert!(s.contains("* = queue"));
+        assert!(s.contains("+ = exec"));
+        // The cold row (total 20) fills the frame; warm (total 10) is
+        // about half as long.
+        let cold_len = s
+            .lines()
+            .find(|l| l.contains("cold"))
+            .map(|l| l.chars().filter(|&c| c == '*' || c == '+').count())
+            .unwrap_or(0);
+        let warm_len = s
+            .lines()
+            .find(|l| l.contains("warm"))
+            .map(|l| l.chars().filter(|&c| c == '+').count())
+            .unwrap_or(0);
+        assert_eq!(cold_len, 20);
+        assert_eq!(warm_len, 10);
+    }
+
+    #[test]
+    fn waterfall_empty_and_nonfinite_rows_render_placeholder() {
+        let wf = AsciiWaterfall::new(10, vec!["a".into()]);
+        assert!(wf.to_string().contains("empty"));
+        let mut nan = AsciiWaterfall::new(10, vec!["a".into()]);
+        nan.row("r", vec![f64::NAN]);
+        assert!(nan.to_string().contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn waterfall_requires_segments() {
+        let _ = AsciiWaterfall::new(10, Vec::new());
     }
 }

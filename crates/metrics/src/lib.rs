@@ -44,7 +44,7 @@ mod summary;
 mod table;
 mod timeseries;
 
-pub use ascii::AsciiChart;
+pub use ascii::{AsciiChart, AsciiWaterfall};
 pub use cdf::Cdf;
 pub use histogram::{Histogram, HistogramBin};
 pub use pareto::{pareto_frontier, ParetoPoint};

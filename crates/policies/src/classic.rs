@@ -103,6 +103,10 @@ impl KeepAlive for GreedyDualKeepAlive {
         // moving clock and is frozen while idle.
         PriorityDeps::ContainerLocal
     }
+
+    fn explain(&self) -> Option<String> {
+        Some(format!("clock={:.3} bases={}", self.clock, self.base.len()))
+    }
 }
 
 #[cfg(test)]

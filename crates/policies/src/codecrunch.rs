@@ -102,6 +102,10 @@ impl KeepAlive for CodeCrunchKeepAlive {
             None
         }
     }
+
+    fn explain(&self) -> Option<String> {
+        Some(format!("compressed_images={}", self.compressed.len()))
+    }
 }
 
 #[cfg(test)]

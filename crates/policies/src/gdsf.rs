@@ -123,6 +123,10 @@ impl KeepAlive for GdsfKeepAlive {
             PriorityDeps::FunctionFreq
         }
     }
+
+    fn explain(&self) -> Option<String> {
+        Some(format!("clock={:.3} bases={}", self.clock, self.base.len()))
+    }
 }
 
 #[cfg(test)]

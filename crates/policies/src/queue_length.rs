@@ -64,6 +64,13 @@ impl Scaler for QueueLengthScaler {
             _ => ScaleDecision::ColdStart,
         }
     }
+
+    fn explain(&self) -> Option<String> {
+        Some(match self.limit {
+            Some(l) => format!("queue_limit={l}"),
+            None => "queue_limit=unbounded".to_string(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -162,6 +162,17 @@ impl KeepAlive for RainbowCakeKeepAlive {
         }
         None
     }
+
+    fn explain(&self) -> Option<String> {
+        // Pool sizes include expired-but-unpruned entries (pruning only
+        // happens on use).
+        // lint:allow(O1): summing lengths over HashMap values is
+        // iteration-order-independent, so the note is deterministic.
+        let user: usize = self.user_layers.values().map(Vec::len).sum();
+        // lint:allow(O1): same order-independent fold as above.
+        let lang: usize = self.lang_layers.values().map(Vec::len).sum();
+        Some(format!("user_layers={user} lang_layers={lang}"))
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,10 @@ impl KeepAlive for TtlKeepAlive {
             .map(|c| c.id)
             .collect()
     }
+
+    fn explain(&self) -> Option<String> {
+        Some(format!("ttl_us={}", self.ttl.as_micros()))
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use faas_core::{EvictionIndex, RoundHeap};
 use faas_metrics::TimeSeries;
+use faas_obs::{EvictReason, NoopRecorder, ObsEvent, Recorder, RingRecorder, TraceLog};
 use faas_trace::{FunctionId, TimePoint, Trace};
 
 use crate::cluster::{ClusterState, PolicyCtx};
@@ -61,10 +62,38 @@ pub fn run(trace: &Trace, config: &SimConfig, stack: PolicyStack) -> SimReport {
     if config.shards > 1 {
         return crate::shard::run_sharded(trace, config, stack);
     }
-    Simulation::new(trace, config, stack).run()
+    Simulation::new(trace, config, stack, NoopRecorder).run().0
 }
 
-struct Simulation<'a> {
+/// Runs `trace` like [`run`] while recording the structured trace:
+/// request lifecycle spans, decision provenance (admissions, eviction
+/// candidates, retry scheduling), and fault events (DESIGN.md §12).
+///
+/// The report is byte-identical to [`run`]'s — recording observes,
+/// never steers — and the event stream is byte-identical across the
+/// sequential and sharded engines at any shard count, so traces from
+/// different engines can be diffed directly.
+///
+/// # Examples
+///
+/// ```
+/// use faas_sim::{run_traced, baseline_lru_stack, SimConfig};
+/// use faas_trace::gen;
+///
+/// let trace = gen::azure(1).functions(5).minutes(1).build();
+/// let (report, log) = run_traced(&trace, &SimConfig::default(), baseline_lru_stack());
+/// assert_eq!(report.requests.len(), trace.len());
+/// assert!(!log.is_empty());
+/// ```
+pub fn run_traced(trace: &Trace, config: &SimConfig, stack: PolicyStack) -> (SimReport, TraceLog) {
+    if config.shards > 1 {
+        return crate::shard::run_sharded_traced(trace, config, stack);
+    }
+    let (report, rec) = Simulation::new(trace, config, stack, RingRecorder::unbounded()).run();
+    (report, rec.into_log())
+}
+
+struct Simulation<'a, R: Recorder> {
     cluster: ClusterState,
     events: EventQueue,
     requests: Vec<RequestState>,
@@ -103,10 +132,14 @@ struct Simulation<'a> {
     /// a non-[`PriorityDeps::Volatile`] policy. Volatile policies fall
     /// back to a per-round heapify of fresh priorities.
     use_evict_index: bool,
+    /// Structured trace sink (DESIGN.md §12). [`NoopRecorder`] in
+    /// untraced runs, where monomorphization folds every emission
+    /// site to nothing.
+    rec: R,
 }
 
-impl<'a> Simulation<'a> {
-    fn new(trace: &Trace, config: &'a SimConfig, policies: PolicyStack) -> Self {
+impl<'a, R: Recorder> Simulation<'a, R> {
+    fn new(trace: &Trace, config: &'a SimConfig, policies: PolicyStack, rec: R) -> Self {
         let max_worker = config.workers_mb.iter().copied().max().unwrap_or(0);
         for f in trace.functions() {
             assert!(
@@ -171,10 +204,11 @@ impl<'a> Simulation<'a> {
             arrived: 0,
             evict_index: EvictionIndex::new(),
             use_evict_index,
+            rec,
         }
     }
 
-    fn run(mut self) -> SimReport {
+    fn run(mut self) -> (SimReport, R) {
         while let Some((t, ev)) = self.events.pop() {
             self.now = t;
             match ev {
@@ -204,7 +238,7 @@ impl<'a> Simulation<'a> {
         // the sequential and sharded engines.
         let settle_at = self.cluster.ledger_hwm();
         self.cluster.settle_ledger_at(settle_at);
-        SimReport {
+        let report = SimReport {
             requests: self.records,
             memory: self.memory,
             containers_created: self.cluster.containers_created,
@@ -215,7 +249,8 @@ impl<'a> Simulation<'a> {
             finished_at: self.finished_at,
             ledger: self.cluster.ledger,
             ledger_settled_at: settle_at,
-        }
+        };
+        (report, self.rec)
     }
 
     // -- event handlers --------------------------------------------------
@@ -252,6 +287,20 @@ impl<'a> Simulation<'a> {
             }
         }
 
+        // Decision provenance: the *final* decision, after escalation
+        // and validation — what the engine will actually do. Warm hits
+        // above emit no Admit record (there was no choice to make).
+        obs!(
+            self.rec,
+            ObsEvent::Admit {
+                at: self.now,
+                rid: rid.0,
+                func,
+                decision: decision.into(),
+                note: self.policies.scaler.explain(),
+            }
+        );
+
         match decision {
             ScaleDecision::ColdStart => {
                 self.cluster.fn_runtime_mut(func).pending.push(rid, true);
@@ -280,6 +329,14 @@ impl<'a> Simulation<'a> {
         }
         self.attempts.remove(&cid);
         self.cluster.finish_provision(cid, self.now);
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionEnd {
+                at: self.now,
+                cid: cid.0,
+                ok: true,
+            }
+        );
         let func = self.cluster.container(cid).expect("just provisioned").func;
         if let Some(rid) = self.pop_pending(func, true) {
             self.start_exec(cid, rid, StartClass::Cold);
@@ -328,6 +385,14 @@ impl<'a> Simulation<'a> {
         }
         self.finished_at = self.finished_at.max(self.now);
         self.incomplete -= 1;
+        obs!(
+            self.rec,
+            ObsEvent::Finish {
+                at: self.now,
+                rid: rid.0,
+                cid: cid.0,
+            }
+        );
         if self.fault_active {
             if let Some(runs) = self.running.get_mut(&cid) {
                 if let Some(pos) = runs.iter().position(|&(r, _)| r == rid) {
@@ -380,7 +445,7 @@ impl<'a> Simulation<'a> {
                 .map(|c| c.is_idle() && c.local_queue.is_empty())
                 .unwrap_or(false);
             if still_idle {
-                self.evict_container(cid);
+                self.evict_container(cid, EvictReason::Expire);
             }
         }
         // Prewarming.
@@ -432,6 +497,14 @@ impl<'a> Simulation<'a> {
         let attempt = self.attempts.remove(&cid).unwrap_or(0);
         let info = self.cluster.fail_provision(cid, self.now);
         self.note_memory();
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionEnd {
+                at: self.now,
+                cid: cid.0,
+                ok: false,
+            }
+        );
         {
             let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
             // Drop any policy state keyed on the dead container (e.g.
@@ -445,8 +518,19 @@ impl<'a> Simulation<'a> {
             }
         }
         let next = attempt + 1;
+        let backoff = self.faults.plan().backoff(next);
+        obs!(
+            self.rec,
+            ObsEvent::RetryScheduled {
+                at: self.now,
+                func,
+                attempt: next,
+                backoff,
+                speculative,
+            }
+        );
         self.events.push(
-            self.now + self.faults.plan().backoff(next),
+            self.now + backoff,
             Event::RetryProvision(func, next, speculative),
         );
         *self.retrying.entry(func).or_default() += 1;
@@ -486,6 +570,13 @@ impl<'a> Simulation<'a> {
         }
         self.cluster.mark_worker_down(worker);
         self.evict_index.drop_worker(worker);
+        obs!(
+            self.rec,
+            ObsEvent::WorkerDown {
+                at: self.now,
+                worker: worker.0,
+            }
+        );
         let victims = self.cluster.containers_on(worker);
         let mut voided: Vec<usize> = Vec::new();
         let mut requeue: Vec<(FunctionId, RequestId)> = Vec::new();
@@ -503,6 +594,19 @@ impl<'a> Simulation<'a> {
             }
             self.busy_until.remove(&cid);
             let (info, local_queued) = self.cluster.crash_evict(cid, self.now);
+            obs!(
+                self.rec,
+                ObsEvent::Evict {
+                    at: self.now,
+                    cid: cid.0,
+                    func: info.func,
+                    worker: info.worker.0,
+                    reason: EvictReason::Crash,
+                    // No policy note: a crash is the fault plan's
+                    // doing, not a keep-alive decision.
+                    note: None,
+                }
+            );
             affected.push(info.func);
             for rid in local_queued {
                 requeue.push((info.func, rid));
@@ -598,6 +702,17 @@ impl<'a> Simulation<'a> {
             exec,
             class,
         });
+        obs!(
+            self.rec,
+            ObsEvent::Start {
+                at: self.now,
+                rid: rid.0,
+                cid: cid.0,
+                func,
+                class: class.into(),
+                wait,
+            }
+        );
         if self.fault_active {
             // Track in-flight work so a worker crash can void the record
             // and re-queue the request.
@@ -633,6 +748,14 @@ impl<'a> Simulation<'a> {
     fn request_provision(&mut self, func: FunctionId, speculative: bool, attempt: u32) {
         let mem = self.cluster.profile(func).mem_mb;
         let Some(worker) = self.cluster.pick_worker(mem) else {
+            obs!(
+                self.rec,
+                ObsEvent::Defer {
+                    at: self.now,
+                    func,
+                    speculative,
+                }
+            );
             self.deferred.push_back((func, speculative, attempt));
             return;
         };
@@ -641,6 +764,20 @@ impl<'a> Simulation<'a> {
         // are computed once per replacement (the paper's lazily resorted
         // priority queue), not once per victim.
         if self.cluster.workers()[worker.0 as usize].free_mb() < u64::from(mem) {
+            // Victim-selection provenance: snapshot every candidate and
+            // its priority before popping. Computed fresh only when
+            // recording (`priority` is `&self` and side-effect-free),
+            // and sorted in the eviction order all scan modes follow,
+            // so the record is identical across engines and scan modes.
+            if self.rec.enabled() {
+                let candidates = self.eviction_snapshot(worker);
+                self.rec.record(ObsEvent::EvictCandidates {
+                    at: self.now,
+                    worker: worker.0,
+                    incoming: func,
+                    candidates,
+                });
+            }
             let mut evicted = Vec::new();
             if self.use_evict_index {
                 // Cross-round cached candidates: pop victims straight off
@@ -665,10 +802,18 @@ impl<'a> Simulation<'a> {
                         // Raced with our own accounting: pick_worker said
                         // this fits, so there must be victims. Defensive
                         // fallback.
+                        obs!(
+                            self.rec,
+                            ObsEvent::Defer {
+                                at: self.now,
+                                func,
+                                speculative,
+                            }
+                        );
                         self.deferred.push_back((func, speculative, attempt));
                         return;
                     };
-                    evicted.push(self.evict_container(victim));
+                    evicted.push(self.evict_container(victim, EvictReason::Replace));
                 }
                 return self.finish_admission(func, worker, speculative, evicted, attempt);
             }
@@ -699,10 +844,18 @@ impl<'a> Simulation<'a> {
                     let mut heap = RoundHeap::from_entries(candidates);
                     while self.cluster.workers()[worker.0 as usize].free_mb() < u64::from(mem) {
                         let Some((_, victim)) = heap.pop() else {
+                            obs!(
+                                self.rec,
+                                ObsEvent::Defer {
+                                    at: self.now,
+                                    func,
+                                    speculative,
+                                }
+                            );
                             self.deferred.push_back((func, speculative, attempt));
                             return;
                         };
-                        evicted.push(self.evict_container(victim));
+                        evicted.push(self.evict_container(victim, EvictReason::Replace));
                     }
                 }
                 ScanMode::Reference => {
@@ -710,10 +863,18 @@ impl<'a> Simulation<'a> {
                     let mut victims = sorted.into_iter();
                     while self.cluster.workers()[worker.0 as usize].free_mb() < u64::from(mem) {
                         let Some((_, victim)) = victims.next() else {
+                            obs!(
+                                self.rec,
+                                ObsEvent::Defer {
+                                    at: self.now,
+                                    func,
+                                    speculative,
+                                }
+                            );
                             self.deferred.push_back((func, speculative, attempt));
                             return;
                         };
-                        evicted.push(self.evict_container(victim));
+                        evicted.push(self.evict_container(victim, EvictReason::Replace));
                     }
                 }
             }
@@ -740,6 +901,17 @@ impl<'a> Simulation<'a> {
             .cluster
             .begin_provision(func, worker, self.now, speculative);
         self.note_memory();
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionBegin {
+                at: self.now,
+                cid: cid.0,
+                func,
+                worker: worker.0,
+                speculative,
+                attempt,
+            }
+        );
         let cinfo = self
             .cluster
             .container(cid)
@@ -774,6 +946,36 @@ impl<'a> Simulation<'a> {
         self.events.push(self.now + cold, Event::ProvisionDone(cid));
     }
 
+    /// Fresh, sorted snapshot of every eviction candidate on `worker`
+    /// with its keep-alive priority, for [`ObsEvent::EvictCandidates`]
+    /// provenance records. Only called when recording is enabled;
+    /// `priority` is `&self` and side-effect-free, so the snapshot
+    /// cannot perturb the run. Sorted (priority, then id) — the
+    /// eviction order every scan mode follows, so the record is
+    /// engine- and scan-mode-independent.
+    fn eviction_snapshot(&self, worker: WorkerId) -> Vec<(u64, f64)> {
+        let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
+        let ka = &self.policies.keepalive;
+        let candidates: Vec<(f64, ContainerId)> = self.cluster.workers()[worker.0 as usize]
+            .idle
+            .iter()
+            .filter(|cid| {
+                self.cluster
+                    .container(**cid)
+                    .map(|c| c.local_queue.is_empty())
+                    .unwrap_or(false)
+            })
+            .map(|&cid| {
+                let cinfo = ctx.container(cid).expect("idle containers are live");
+                (ka.priority(&cinfo, &ctx), cid)
+            })
+            .collect();
+        crate::reference::sorted_eviction_candidates(candidates)
+            .into_iter()
+            .map(|(p, cid)| (cid.0, p))
+            .collect()
+    }
+
     /// Enters `cid` into the eviction index if it just became a
     /// candidate (fully idle, empty local queue), caching its current
     /// priority. No-op unless cross-round caching is enabled.
@@ -798,7 +1000,11 @@ impl<'a> Simulation<'a> {
     }
 
     /// Evicts one idle container, firing policy hooks.
-    fn evict_container(&mut self, cid: ContainerId) -> crate::container::ContainerInfo {
+    fn evict_container(
+        &mut self,
+        cid: ContainerId,
+        reason: EvictReason,
+    ) -> crate::container::ContainerInfo {
         let was_unused = self
             .cluster
             .container(cid)
@@ -807,6 +1013,19 @@ impl<'a> Simulation<'a> {
         self.evict_index.leave(cid);
         let info = self.cluster.evict(cid, self.now);
         self.note_memory();
+        // Provenance note reflects the keep-alive state that drove the
+        // choice, so it is taken before `on_evict` mutates it.
+        obs!(
+            self.rec,
+            ObsEvent::Evict {
+                at: self.now,
+                cid: cid.0,
+                func: info.func,
+                worker: info.worker.0,
+                reason,
+                note: self.policies.keepalive.explain(),
+            }
+        );
         let ctx = PolicyCtx::new(self.now, &self.cluster, &self.busy_until);
         self.policies.keepalive.on_evict(&info, &ctx);
         if was_unused {

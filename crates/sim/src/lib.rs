@@ -30,6 +30,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Emits a trace event only when the recorder is enabled, so building
+/// the event (snapshots, provenance strings) costs nothing in untraced
+/// runs: with [`faas_obs::NoopRecorder`] the `enabled()` test is a
+/// constant `false` and the whole arm folds away (DESIGN.md §12).
+macro_rules! obs {
+    ($rec:expr, $ev:expr) => {
+        if $rec.enabled() {
+            let ev = $ev;
+            $rec.record(ev);
+        }
+    };
+}
+
 mod cluster;
 mod config;
 mod container;
@@ -48,7 +61,7 @@ mod shard;
 pub use cluster::{ClusterState, FnRuntime, FnStats, PolicyCtx, Worker};
 pub use config::{Placement, ScanMode, SimConfig};
 pub use container::{Container, ContainerInfo, ContainerState};
-pub use engine::run;
+pub use engine::{run, run_traced};
 pub use event::{Event, EventQueue};
 pub use fault::{FaultPlan, FaultState};
 pub use ids::{ContainerId, RequestId, WorkerId};

@@ -43,6 +43,27 @@ pub enum StartClass {
     Cold,
 }
 
+impl From<StartClass> for faas_obs::ObsClass {
+    fn from(c: StartClass) -> Self {
+        match c {
+            StartClass::Warm => faas_obs::ObsClass::Warm,
+            StartClass::DelayedWarm => faas_obs::ObsClass::DelayedWarm,
+            StartClass::Cold => faas_obs::ObsClass::Cold,
+        }
+    }
+}
+
+impl From<ScaleDecision> for faas_obs::AdmitDecision {
+    fn from(d: ScaleDecision) -> Self {
+        match d {
+            ScaleDecision::ColdStart => faas_obs::AdmitDecision::ColdStart,
+            ScaleDecision::WaitWarm => faas_obs::AdmitDecision::WaitWarm,
+            ScaleDecision::Race => faas_obs::AdmitDecision::Race,
+            ScaleDecision::EnqueueOn(cid) => faas_obs::AdmitDecision::EnqueueOn(cid.0),
+        }
+    }
+}
+
 /// What a keep-alive policy's [`KeepAlive::priority`] depends on, which
 /// determines how aggressively the engine may cache it in the
 /// lazy-deletion eviction index.
@@ -137,6 +158,16 @@ pub trait KeepAlive {
         let _ = (func, ctx);
         None
     }
+
+    /// One-line provenance note attached to eviction trace events when
+    /// recording is enabled (DESIGN.md §12): the internal state that
+    /// drove victim choice (clock values, TTLs, frequency counters).
+    /// Must be a pure function of policy state — the traced oracle
+    /// demands byte-identical notes from every engine — and is only
+    /// called when a recorder is enabled, so it may allocate.
+    fn explain(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Scaling policy: decides between cold starts, delayed warm starts, and
@@ -168,6 +199,14 @@ pub trait Scaler {
     /// CSS feeds on (§3.2).
     fn on_cold_outcome(&mut self, func: FunctionId, idle: Option<TimeDelta>, ctx: &PolicyCtx<'_>) {
         let _ = (func, idle, ctx);
+    }
+
+    /// One-line provenance note attached to admission-decision trace
+    /// events when recording is enabled (DESIGN.md §12): the state the
+    /// decision read (e.g. CSS's current cold-time estimate and warm
+    /// count). Same determinism contract as [`KeepAlive::explain`].
+    fn explain(&self) -> Option<String> {
+        None
     }
 }
 

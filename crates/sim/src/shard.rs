@@ -53,6 +53,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 use faas_core::RoundHeap;
 use faas_metrics::TimeSeries;
+use faas_obs::{EvictReason, NoopRecorder, ObsEvent, Recorder, RingRecorder, TraceLog};
 use faas_trace::{FunctionId, FunctionProfile, TimeDelta, TimePoint, Trace};
 
 use crate::cluster::{ClusterState, PolicyCtx};
@@ -518,7 +519,7 @@ enum PhaseEnd {
 }
 
 /// The sharded engine's sequential conductor.
-struct ShardedSim<'a> {
+struct ShardedSim<'a, R: Recorder> {
     trace: &'a Trace,
     config: &'a SimConfig,
     policies: PolicyStack,
@@ -558,6 +559,11 @@ struct ShardedSim<'a> {
     /// parallel phase may optimistically run.
     window: TimeDelta,
     jobs: usize,
+    /// Structured trace sink (DESIGN.md §12). Events are only emitted
+    /// in conductor context — directly by conductor ops, or at `sync`
+    /// when committed shard effects replay in merged key order — so
+    /// the stream is byte-identical to the sequential engine's.
+    rec: R,
 }
 
 /// Floor / ceiling of the adaptive phase window.
@@ -567,6 +573,28 @@ const WINDOW_MAX: TimeDelta = TimeDelta::from_secs(60);
 /// Entry point: runs `trace` sharded across `config.shards` threads.
 /// Byte-identical to [`crate::run`] with `shards: 1`.
 pub(crate) fn run_sharded(trace: &Trace, config: &SimConfig, policies: PolicyStack) -> SimReport {
+    run_sharded_with(trace, config, policies, NoopRecorder).0
+}
+
+/// Traced entry point: same simulation, with every provenance event
+/// recorded. Emission happens only in conductor context (conductor ops
+/// and the `sync` merge), so the stream is byte-identical to the
+/// sequential engine's at any shard count (DESIGN.md §12).
+pub(crate) fn run_sharded_traced(
+    trace: &Trace,
+    config: &SimConfig,
+    policies: PolicyStack,
+) -> (SimReport, TraceLog) {
+    let (report, rec) = run_sharded_with(trace, config, policies, RingRecorder::unbounded());
+    (report, rec.into_log())
+}
+
+fn run_sharded_with<R: Recorder>(
+    trace: &Trace,
+    config: &SimConfig,
+    policies: PolicyStack,
+    rec: R,
+) -> (SimReport, R) {
     let max_worker = config.workers_mb.iter().copied().max().unwrap_or(0);
     for f in trace.functions() {
         assert!(
@@ -670,12 +698,13 @@ pub(crate) fn run_sharded(trace: &Trace, config: &SimConfig, policies: PolicySta
         arrived: 0,
         window: TimeDelta::from_millis(50),
         jobs: faas_testkit::default_jobs().min(nshards),
+        rec,
     }
     .run()
 }
 
-impl<'a> ShardedSim<'a> {
-    fn run(mut self) -> SimReport {
+impl<'a, R: Recorder> ShardedSim<'a, R> {
+    fn run(mut self) -> (SimReport, R) {
         loop {
             let shard_min: Option<(EvKey, usize)> = self
                 .shards
@@ -717,7 +746,7 @@ impl<'a> ShardedSim<'a> {
             s.mini.settle_ledger_at(settle_at);
             ledger.merge(&s.mini.ledger);
         }
-        SimReport {
+        let report = SimReport {
             requests: self.records,
             memory: self.memory,
             containers_created: self.shards.iter().map(|s| s.mini.containers_created).sum(),
@@ -728,7 +757,8 @@ impl<'a> ShardedSim<'a> {
             finished_at: self.finished_at,
             ledger,
             ledger_settled_at: settle_at,
-        }
+        };
+        (report, self.rec)
     }
 
     /// One parallel phase: run shards to a bound, resolve the earliest
@@ -838,6 +868,14 @@ impl<'a> ShardedSim<'a> {
                 LogEntry::Complete { cid, rid, end, .. } => {
                     self.finished_at = self.finished_at.max(end);
                     self.incomplete -= 1;
+                    obs!(
+                        self.rec,
+                        ObsEvent::Finish {
+                            at: end,
+                            rid: rid.0,
+                            cid: cid.0,
+                        }
+                    );
                     if self.fault_active {
                         if let Some(runs) = self.running.get_mut(&cid) {
                             if let Some(pos) = runs.iter().position(|&(r, _)| r == rid) {
@@ -854,6 +892,17 @@ impl<'a> ShardedSim<'a> {
                         self.arrived += 1;
                     }
                     self.records.push(s.record);
+                    obs!(
+                        self.rec,
+                        ObsEvent::Start {
+                            at: s.now,
+                            rid: s.rid.0,
+                            cid: s.cid.0,
+                            func: s.record.func,
+                            class: s.class.into(),
+                            wait: s.record.wait,
+                        }
+                    );
                     if self.fault_active {
                         self.running
                             .entry(s.cid)
@@ -1099,6 +1148,19 @@ impl<'a> ShardedSim<'a> {
                 decision = ScaleDecision::ColdStart;
             }
         }
+        // Decision provenance: the *final* decision, after escalation
+        // and validation — what the engine will actually do. Warm hits
+        // above emit no Admit record (there was no choice to make).
+        obs!(
+            self.rec,
+            ObsEvent::Admit {
+                at: self.now,
+                rid: rid.0,
+                func,
+                decision: decision.into(),
+                note: self.policies.scaler.explain(),
+            }
+        );
         match decision {
             ScaleDecision::ColdStart => {
                 self.shards[si]
@@ -1136,6 +1198,14 @@ impl<'a> ShardedSim<'a> {
         };
         self.attempts.remove(&cid);
         self.shards[si].mini.finish_provision(cid, self.now);
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionEnd {
+                at: self.now,
+                cid: cid.0,
+                ok: true,
+            }
+        );
         let func = self.shards[si]
             .mini
             .container(cid)
@@ -1175,6 +1245,14 @@ impl<'a> ShardedSim<'a> {
         };
         self.finished_at = self.finished_at.max(self.now);
         self.incomplete -= 1;
+        obs!(
+            self.rec,
+            ObsEvent::Finish {
+                at: self.now,
+                rid: rid.0,
+                cid: cid.0,
+            }
+        );
         if self.fault_active {
             if let Some(runs) = self.running.get_mut(&cid) {
                 if let Some(pos) = runs.iter().position(|&(r, _)| r == rid) {
@@ -1217,7 +1295,7 @@ impl<'a> ShardedSim<'a> {
                 .map(|c| c.is_idle() && c.local_queue.is_empty())
                 .unwrap_or(false);
             if still_idle {
-                self.evict_container(cid);
+                self.evict_container(cid, EvictReason::Expire);
             }
         }
         if self.policies.prewarm.is_some() {
@@ -1269,6 +1347,14 @@ impl<'a> ShardedSim<'a> {
         let attempt = self.attempts.remove(&cid).unwrap_or(0);
         let info = self.shards[si].mini.fail_provision(cid, self.now);
         self.note_memory();
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionEnd {
+                at: self.now,
+                cid: cid.0,
+                ok: false,
+            }
+        );
         {
             let view = MergedView {
                 shards: &self.shards,
@@ -1282,8 +1368,19 @@ impl<'a> ShardedSim<'a> {
             }
         }
         let next = attempt + 1;
+        let backoff = self.faults.plan().backoff(next);
+        obs!(
+            self.rec,
+            ObsEvent::RetryScheduled {
+                at: self.now,
+                func,
+                attempt: next,
+                backoff,
+                speculative,
+            }
+        );
         self.push_cond(
-            self.now + self.faults.plan().backoff(next),
+            self.now + backoff,
             CEvent::RetryProvision(func, next, speculative),
         );
         *self.retrying.entry(func).or_default() += 1;
@@ -1315,6 +1412,13 @@ impl<'a> ShardedSim<'a> {
         for s in &mut self.shards {
             s.mini.mark_worker_down(worker);
         }
+        obs!(
+            self.rec,
+            ObsEvent::WorkerDown {
+                at: self.now,
+                worker: worker.0,
+            }
+        );
         // lint:allow(O1): per-mini lists are id-sorted; the merge sorts.
         let mut victims: Vec<ContainerId> = self
             .shards
@@ -1337,6 +1441,19 @@ impl<'a> ShardedSim<'a> {
             let si = self.owner_of(cid).expect("victim is live");
             self.shards[si].busy_until.remove(&cid);
             let (info, local_queued) = self.shards[si].mini.crash_evict(cid, self.now);
+            obs!(
+                self.rec,
+                ObsEvent::Evict {
+                    at: self.now,
+                    cid: cid.0,
+                    func: info.func,
+                    worker: info.worker.0,
+                    reason: EvictReason::Crash,
+                    // No policy note: a crash is the fault plan's
+                    // doing, not a keep-alive decision.
+                    note: None,
+                }
+            );
             affected.push(info.func);
             for rid in local_queued {
                 requeue.push((info.func, rid));
@@ -1432,6 +1549,17 @@ impl<'a> ShardedSim<'a> {
             exec,
             class,
         });
+        obs!(
+            self.rec,
+            ObsEvent::Start {
+                at: self.now,
+                rid: rid.0,
+                cid: cid.0,
+                func,
+                class: class.into(),
+                wait,
+            }
+        );
         if self.fault_active {
             self.running
                 .entry(cid)
@@ -1472,6 +1600,14 @@ impl<'a> ShardedSim<'a> {
     fn request_provision(&mut self, func: FunctionId, speculative: bool, attempt: u32) {
         let mem = self.shards[self.fn_shard[&func]].mini.profile(func).mem_mb;
         let Some(worker) = self.merged_pick_worker(mem) else {
+            obs!(
+                self.rec,
+                ObsEvent::Defer {
+                    at: self.now,
+                    func,
+                    speculative,
+                }
+            );
             self.deferred.push_back((func, speculative, attempt));
             return;
         };
@@ -1501,15 +1637,39 @@ impl<'a> ShardedSim<'a> {
                 }
                 cands
             };
+            // Victim-selection provenance: the same fresh-sorted
+            // snapshot the sequential engine records — sorting
+            // normalizes the per-mini collection order, so the record
+            // is engine- and scan-mode-independent.
+            obs!(
+                self.rec,
+                ObsEvent::EvictCandidates {
+                    at: self.now,
+                    worker: worker.0,
+                    incoming: func,
+                    candidates: crate::reference::sorted_eviction_candidates(candidates.clone())
+                        .into_iter()
+                        .map(|(p, cid)| (cid.0, p))
+                        .collect(),
+                }
+            );
             match self.config.scan {
                 ScanMode::Indexed => {
                     let mut heap = RoundHeap::from_entries(candidates);
                     while self.merged_free_mb(worker) < u64::from(mem) {
                         let Some((_, victim)) = heap.pop() else {
+                            obs!(
+                                self.rec,
+                                ObsEvent::Defer {
+                                    at: self.now,
+                                    func,
+                                    speculative,
+                                }
+                            );
                             self.deferred.push_back((func, speculative, attempt));
                             return;
                         };
-                        evicted.push(self.evict_container(victim));
+                        evicted.push(self.evict_container(victim, EvictReason::Replace));
                     }
                 }
                 ScanMode::Reference => {
@@ -1517,10 +1677,18 @@ impl<'a> ShardedSim<'a> {
                     let mut victims = sorted.into_iter();
                     while self.merged_free_mb(worker) < u64::from(mem) {
                         let Some((_, victim)) = victims.next() else {
+                            obs!(
+                                self.rec,
+                                ObsEvent::Defer {
+                                    at: self.now,
+                                    func,
+                                    speculative,
+                                }
+                            );
                             self.deferred.push_back((func, speculative, attempt));
                             return;
                         };
-                        evicted.push(self.evict_container(victim));
+                        evicted.push(self.evict_container(victim, EvictReason::Replace));
                     }
                 }
             }
@@ -1551,6 +1719,17 @@ impl<'a> ShardedSim<'a> {
             .begin_provision(func, worker, self.now, speculative);
         self.next_container = cid.0 + 1;
         self.note_memory();
+        obs!(
+            self.rec,
+            ObsEvent::ProvisionBegin {
+                at: self.now,
+                cid: cid.0,
+                func,
+                worker: worker.0,
+                speculative,
+                attempt,
+            }
+        );
         let cinfo = self.shards[si]
             .mini
             .container(cid)
@@ -1587,7 +1766,7 @@ impl<'a> ShardedSim<'a> {
         self.push_cond(self.now + cold, CEvent::ProvisionDone(cid));
     }
 
-    fn evict_container(&mut self, cid: ContainerId) -> ContainerInfo {
+    fn evict_container(&mut self, cid: ContainerId, reason: EvictReason) -> ContainerInfo {
         let si = self.owner_of(cid).expect("evicting a live container");
         let was_unused = self.shards[si]
             .mini
@@ -1596,6 +1775,19 @@ impl<'a> ShardedSim<'a> {
             .unwrap_or(false);
         let info = self.shards[si].mini.evict(cid, self.now);
         self.note_memory();
+        // Provenance note reflects the keep-alive state that drove the
+        // choice, so it is taken before `on_evict` mutates it.
+        obs!(
+            self.rec,
+            ObsEvent::Evict {
+                at: self.now,
+                cid: cid.0,
+                func: info.func,
+                worker: info.worker.0,
+                reason,
+                note: self.policies.keepalive.explain(),
+            }
+        );
         let view = MergedView {
             shards: &self.shards,
             fn_shard: &self.fn_shard,

@@ -24,6 +24,8 @@
 //!   ([`faas_live`]).
 //! * [`metrics`] — CDFs, percentiles, sliding windows, tables
 //!   ([`faas_metrics`]).
+//! * [`obs`] — deterministic tracing: decision provenance, Chrome
+//!   trace export, latency waterfalls ([`faas_obs`]).
 //!
 //! # Quickstart
 //!
@@ -54,6 +56,7 @@
 pub use cidre_core as core;
 pub use faas_live as live;
 pub use faas_metrics as metrics;
+pub use faas_obs as obs;
 pub use faas_policies as policies;
 pub use faas_sim as sim;
 pub use faas_trace as trace;

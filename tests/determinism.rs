@@ -6,7 +6,7 @@
 
 use cidre::core::{cidre_bss_stack, cidre_stack, CidreConfig};
 use cidre::policies::{faascache_stack, lru_stack, ttl_stack};
-use cidre::sim::{run, FaultPlan, PolicyStack, SimConfig, SimReport, WorkerId};
+use cidre::sim::{run, run_traced, FaultPlan, PolicyStack, SimConfig, SimReport, WorkerId};
 use cidre::trace::{gen, TimeDelta, TimePoint};
 
 fn stacks() -> Vec<(&'static str, fn() -> PolicyStack)> {
@@ -166,6 +166,10 @@ const CSV_GOLDENS: &[(&str, u64)] = &[
     // GB-seconds by charge class, the per-request bill, the work
     // counters — and the frontier flags.
     ("pareto.csv", 0x0ef09de4488a9cc5),
+    // The latency-waterfall sweep (PR 9): pins the per-policy ×
+    // start-class queue/provision/retry/exec decomposition and the
+    // provenance event counts.
+    ("trace.csv", 0x4bc3028235c6a0e6),
 ];
 
 #[test]
@@ -183,7 +187,7 @@ fn experiment_csv_outputs_match_pinned_goldens() {
         caches_gb: Some(vec![80, 100, 120]),
         workload: Some(cidre_bench::Workload::Azure),
     };
-    for exp in ["fig12", "sweep", "faults", "pareto"] {
+    for exp in ["fig12", "sweep", "faults", "pareto", "trace"] {
         assert!(
             cidre_bench::run_by_name(exp, &ctx),
             "unknown experiment {exp}"
@@ -282,6 +286,91 @@ fn fc_workload_is_deterministic_too() {
     let a = run(&trace_a, &config, cidre_stack(CidreConfig::default()));
     let b = run(&trace_b, &config, cidre_stack(CidreConfig::default()));
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+/// Pinned content hash of the Chrome trace-event export of one faulted
+/// CIDRE run (the `faulty_config(9)` schedule over the seed-7 Azure
+/// miniature). The export is a pure function of the event stream, and
+/// the sharded engine's conductor-only emission makes that stream
+/// byte-identical to the sequential engine's — so this one constant
+/// pins the recorder, the exporter, and the shard-merge protocol at
+/// once (DESIGN.md §12).
+const CHROME_EXPORT_GOLDEN: u64 = 0x35621b28ba6759ca;
+
+/// The trace export of a faulted sharded run must be byte-identical to
+/// the sequential export (and to the pinned golden) at every shard
+/// count, and must parse as valid JSON.
+#[test]
+fn chrome_export_byte_identical_across_shard_counts() {
+    let trace = gen::azure(7).functions(15).minutes(2).build();
+    let base = faulty_config(9);
+    let (_, log) = run_traced(
+        &trace,
+        &base.clone().shards(1),
+        cidre_stack(CidreConfig::default()),
+    );
+    let seq = log.to_chrome_json();
+    faas_testkit::json::Value::parse(&seq).expect("sequential export is valid JSON");
+    assert_eq!(
+        fnv1a64(seq.as_bytes()),
+        CHROME_EXPORT_GOLDEN,
+        "sequential chrome export diverged from the pinned golden"
+    );
+    for shards in [2, 8] {
+        let (_, log) = run_traced(
+            &trace,
+            &base.clone().shards(shards),
+            cidre_stack(CidreConfig::default()),
+        );
+        assert_eq!(
+            log.to_chrome_json(),
+            seq,
+            "chrome export at shards={shards} diverged from sequential"
+        );
+    }
+}
+
+/// The `trace` experiment's artifacts — the waterfall CSV and every
+/// per-policy Chrome export — must be byte-identical across `--jobs`
+/// values: the fan-out is a performance knob, never a semantic one.
+#[test]
+fn trace_experiment_artifacts_identical_across_jobs() {
+    cidre_bench::set_quiet(true);
+    let artifacts_for = |jobs: usize| -> Vec<(String, Vec<u8>)> {
+        let out =
+            std::env::temp_dir().join(format!("cidre-trace-jobs{jobs}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&out);
+        let mut ctx = cidre_bench::ExpCtx::tiny();
+        ctx.out_dir = out.clone();
+        ctx.jobs = jobs;
+        assert!(cidre_bench::run_by_name("trace", &ctx));
+        let mut files = vec!["trace.csv".to_string()];
+        files.extend(
+            cidre_bench::experiments::trace::POLICIES
+                .iter()
+                .map(|p| cidre_bench::experiments::trace::export_name(p)),
+        );
+        let artifacts = files
+            .into_iter()
+            .map(|f| {
+                let bytes =
+                    std::fs::read(out.join(&f)).unwrap_or_else(|e| panic!("missing {f}: {e}"));
+                (f, bytes)
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&out);
+        artifacts
+    };
+    let sequential = artifacts_for(1);
+    for (name, bytes) in &sequential {
+        assert!(!bytes.is_empty(), "{name} is empty");
+    }
+    assert_eq!(sequential, artifacts_for(1), "repeat trace run diverged");
+    assert_eq!(
+        sequential,
+        artifacts_for(4),
+        "trace artifacts at jobs=4 diverged from the sequential run"
+    );
 }
 
 /// `per_function_peak_rpm` feeds the Fig. 3 concurrency CDF. Its output

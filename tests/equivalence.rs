@@ -24,8 +24,8 @@ use cidre::policies::{
     faascache_stack, GdsfKeepAlive, GreedyDualKeepAlive, LfuKeepAlive, TtlKeepAlive,
 };
 use cidre::sim::{
-    baseline_lru_stack, run, AlwaysCold, FaultPlan, PolicyStack, ScanMode, SimConfig, SimReport,
-    WorkerId,
+    baseline_lru_stack, run, run_traced, AlwaysCold, FaultPlan, PolicyStack, ScanMode, SimConfig,
+    SimReport, WorkerId,
 };
 use cidre::trace::{FunctionId, FunctionProfile, Invocation, TimeDelta, TimePoint, Trace};
 use faas_testkit::{Checker, Gen};
@@ -169,6 +169,49 @@ fn assert_engines_agree(trace: &Trace, config: &SimConfig, shards: usize) {
             format!("{sharded:?}"),
             format!("{indexed:?}"),
             "{label}: sharded run ({shards} shards) diverged from sequential"
+        );
+        // Traced runs: recording must not steer (the report stays
+        // byte-identical to the untraced run), and the provenance event
+        // stream must be byte-identical across engines and scan modes
+        // (DESIGN.md §12).
+        if verbose {
+            eprintln!("  stack={label} engine=indexed traced");
+        }
+        let (t_indexed, log_indexed) =
+            run_traced(trace, &config.clone().scan_mode(ScanMode::Indexed), mk());
+        assert_eq!(
+            format!("{t_indexed:?}"),
+            format!("{indexed:?}"),
+            "{label}: recording steered the indexed run"
+        );
+        if verbose {
+            eprintln!("  stack={label} engine=reference traced");
+        }
+        let (t_reference, log_reference) =
+            run_traced(trace, &config.clone().scan_mode(ScanMode::Reference), mk());
+        assert_eq!(
+            format!("{t_reference:?}"),
+            format!("{reference:?}"),
+            "{label}: recording steered the reference run"
+        );
+        assert_eq!(
+            format!("{:?}", log_indexed.events()),
+            format!("{:?}", log_reference.events()),
+            "{label}: indexed and reference scans traced different provenance"
+        );
+        if verbose {
+            eprintln!("  stack={label} engine=sharded({shards}) traced");
+        }
+        let (t_sharded, log_sharded) = run_traced(trace, &config.clone().shards(shards), mk());
+        assert_eq!(
+            format!("{t_sharded:?}"),
+            format!("{sharded:?}"),
+            "{label}: recording steered the sharded run"
+        );
+        assert_eq!(
+            format!("{:?}", log_sharded.events()),
+            format!("{:?}", log_indexed.events()),
+            "{label}: sharded run ({shards} shards) traced different provenance"
         );
     }
 }
