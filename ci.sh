@@ -14,13 +14,33 @@ echo "== lint: clippy (offline, all warnings deny) =="
 cargo clippy --offline --workspace -- -D warnings
 
 echo "== lint: cidre-lint (determinism & safety ratchet) =="
-# In-tree static analyzer (crates/lint): W1 wall-clock, O1 unordered
-# hash iteration, F1 partial_cmp, C1 lossy time/mem casts, E1 ambient
-# entropy, U1 bare unwrap, P1 library printing. Fails on any
-# violation not accepted by
-# lint-baseline.toml, on a stale baseline, and on any unjustified
-# `lint:allow`. See DESIGN.md §8.
-cargo run -q --release --offline -p cidre-lint
+# In-tree static analyzer (crates/lint): the token rules (W1 wall-clock,
+# O1 unordered hash iteration, F1 partial_cmp, C1 lossy time/mem casts,
+# E1 ambient entropy, U1 bare unwrap, P1 library printing) plus the
+# flow-sensitive concurrency rules (G1 guard across await, K1 wake
+# under an executor lock, L1 lock-order cycles, S1 conductor
+# confinement — seeded from lint-locks.toml). Fails on any violation
+# not accepted by lint-baseline.toml, on a stale baseline, and on any
+# unjustified `lint:allow`. See DESIGN.md §8 and §13. The analyzer must
+# itself be deterministic: run the JSON report twice and require
+# byte-identical output, inside a 10s wall-time budget for both scans.
+cargo build -q --release --offline -p cidre-lint
+lint_a="$(mktemp)"
+lint_b="$(mktemp)"
+trap 'rm -f "$lint_a" "$lint_b"' EXIT
+lint_t0="$(date +%s%N)"
+cargo run -q --release --offline -p cidre-lint -- --format=json > "$lint_a"
+cargo run -q --release --offline -p cidre-lint -- --format=json > "$lint_b"
+lint_t1="$(date +%s%N)"
+cmp "$lint_a" "$lint_b"
+lint_ms=$(( (lint_t1 - lint_t0) / 1000000 ))
+echo "   cidre-lint: two scans in ${lint_ms}ms"
+if [ "$lint_ms" -ge 10000 ]; then
+  echo "cidre-lint: wall-time budget blown (${lint_ms}ms >= 10000ms)" >&2
+  exit 1
+fi
+rm -f "$lint_a" "$lint_b"
+trap - EXIT
 
 echo "== tier 1: release build (offline) =="
 cargo build --release --offline

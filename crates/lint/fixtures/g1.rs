@@ -1,0 +1,69 @@
+//! G1 fixture: lock guards live across `.await`.
+//!
+//! Not compiled — lexed and analyzed by `tests/corpus.rs`. Expected:
+//! three G1 findings (simple positive, two-guard positive, and the one
+//! behind the bare allow) plus one A0 for the bare allow; the two
+//! justified allows and the three negative shapes are silent.
+
+use std::sync::Mutex;
+
+struct Shared {
+    state: Mutex<u32>,
+}
+
+impl Shared {
+    async fn positive(&self) {
+        let st = self.state.lock().unwrap();
+        step().await; // G1: `st` live across the suspension
+        drop(st);
+    }
+
+    async fn two_guards(&self, other: &Shared) {
+        let a = self.state.lock().unwrap();
+        let b = other.state.lock().unwrap();
+        step().await; // G1: one finding naming both `a` and `b`
+        drop(b);
+        drop(a);
+    }
+
+    async fn dropped_before_await(&self) {
+        let st = self.state.lock().unwrap();
+        drop(st);
+        step().await; // silent: guard dead
+    }
+
+    async fn scoped_out(&self) {
+        {
+            let _st = self.state.lock().unwrap();
+        }
+        step().await; // silent: guard died with its block
+    }
+
+    async fn chain_temporary(&self) {
+        let snapshot = *self.state.lock().unwrap();
+        step().await; // silent: statement temporary, no bound guard
+        let _ = snapshot;
+    }
+
+    async fn justified_above(&self) {
+        let st = self.state.lock().unwrap();
+        // lint:allow(G1): single-threaded fixture executor, no contention
+        step().await;
+        drop(st);
+    }
+
+    async fn justified_trailing(&self) {
+        let st = self.state.lock().unwrap();
+        step().await; // lint:allow(G1): guard protects fixture-local state only
+        drop(st);
+    }
+
+    async fn bare_allow(&self) {
+        let st = self.state.lock().unwrap();
+        // lint:allow(G1)
+        step().await; // G1 still fires; the directive itself is A0
+        drop(st);
+    }
+}
+
+async fn step() {}

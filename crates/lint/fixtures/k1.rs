@@ -1,0 +1,63 @@
+//! K1 fixture: waking a task while an executor lock guard is held.
+//!
+//! Not compiled — analyzed by `tests/corpus.rs` through
+//! `analyze_workspace` with a config whose `[k1] scope` covers this
+//! file. Expected: three K1 findings (direct wake under guard,
+//! one-level-deep wake under guard, and the call behind the bare
+//! allow); `notify` itself and the justified allow are silent. The
+//! bare allow's A0 surfaces through `analyze_file`.
+
+use std::sync::Mutex;
+use std::task::Waker;
+
+struct Shared {
+    state: Mutex<State>,
+}
+
+struct State {
+    waker: Option<Waker>,
+}
+
+fn wake_holder(shared: &Shared) {
+    let st = shared.state.lock().unwrap();
+    if let Some(w) = st.waker.as_ref() {
+        w.wake_by_ref(); // K1: direct wake under `st`
+    }
+    drop(st);
+}
+
+fn notify(shared: &Shared) {
+    let mut st = shared.state.lock().unwrap();
+    let w = st.waker.take();
+    drop(st);
+    if let Some(w) = w {
+        w.wake(); // silent: guard dropped before waking
+    }
+}
+
+fn indirect(shared: &Shared) {
+    let st = shared.state.lock().unwrap();
+    notify(shared); // K1: `notify` wakes directly, one level deep
+    drop(st);
+}
+
+fn justified(shared: &Shared) {
+    let st = shared.state.lock().unwrap();
+    // lint:allow(K1): fixture lock is never taken by the schedule path
+    notify(shared);
+    drop(st);
+}
+
+fn bare_allow(shared: &Shared) {
+    let st = shared.state.lock().unwrap();
+    // lint:allow(K1)
+    notify(shared); // K1 still fires; the directive itself is A0
+    drop(st);
+}
+
+async fn dual(shared: &Shared) {
+    let st = shared.state.lock().unwrap();
+    // lint:allow(G1,K1): one directive covers both rules on the next line
+    notify(shared).await;
+    drop(st);
+}

@@ -1,0 +1,48 @@
+//! S1 fixture: conductor confinement.
+//!
+//! Not compiled — analyzed by `tests/corpus.rs` through
+//! `analyze_workspace` with `shard_entry` as the entry point and
+//! `on_evict`/`observe` as conductor-only names. Expected: three S1
+//! findings (a direct forbidden call one hop from the entry, a
+//! forbidden call two hops deep, and the one behind the bare allow);
+//! the justified allow and the unreachable `conductor_tick` are
+//! silent. The bare allow's A0 surfaces through `analyze_file`.
+
+struct State {
+    pending: Vec<u32>,
+}
+
+fn shard_entry(s: &mut State) {
+    step(s);
+    tidy(s);
+}
+
+fn step(s: &mut State) {
+    advance(s);
+    on_evict(s, 0); // S1: forbidden, one hop from the entry
+}
+
+fn advance(s: &mut State) {
+    s.pending.push(1);
+    observe(s); // S1: forbidden, two hops deep
+}
+
+fn tidy(s: &mut State) {
+    // lint:allow(S1): fixture exercises the suppression path
+    on_evict(s, 1);
+    // lint:allow(S1)
+    observe(s); // S1 still fires; the directive itself is A0
+}
+
+fn conductor_tick(s: &mut State) {
+    on_evict(s, 2); // silent: not reachable from `shard_entry`
+    observe(s);
+}
+
+fn on_evict(s: &mut State, _cid: u32) {
+    s.pending.clear();
+}
+
+fn observe(s: &mut State) {
+    s.pending.truncate(8);
+}

@@ -14,11 +14,18 @@
 //! the `lint:allow` grammar, and the ratchet policy.
 
 pub mod baseline;
+pub mod conc;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
+pub mod report;
 pub mod rules;
 pub mod scan;
 
 pub use baseline::Baseline;
+pub use conc::{analyze_workspace, SourceFile};
+pub use locks::{LockSpec, LocksConfig};
+pub use report::to_json;
 pub use rules::{analyze_file, FileContext, FileKind, Rule, Violation};
 pub use scan::{classify, scan_workspace, ScanResult};
 

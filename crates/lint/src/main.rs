@@ -1,4 +1,5 @@
-//! CLI: `cargo run -p cidre-lint [-- --root <dir>] [--write-baseline] [--verbose]`
+//! CLI: `cargo run -p cidre-lint [-- --root <dir>] [--write-baseline]
+//! [--verbose] [--format=text|json]`
 //!
 //! Exit codes: 0 clean, 1 gate failure (new violation, stale baseline,
 //! or bad allow), 2 usage/IO error.
@@ -6,12 +7,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cidre_lint::{check_gate, fresh_baseline, scan_workspace, Baseline, Rule};
+use cidre_lint::{check_gate, fresh_baseline, scan_workspace, to_json, Baseline, Rule};
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut verbose = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -21,19 +29,25 @@ fn main() -> ExitCode {
             },
             "--write-baseline" => write_baseline = true,
             "--verbose" | "-v" => verbose = true,
+            "--format=text" => format = Format::Text,
+            "--format=json" => format = Format::Json,
             "--help" | "-h" => {
                 eprintln!(
                     "cidre-lint: determinism & safety analyzer\n\
                      \n\
                      USAGE: cidre-lint [--root <dir>] [--write-baseline] [--verbose]\n\
+                     \x20                [--format=text|json]\n\
                      \n\
                      Scans every .rs file in the workspace, applies the rule set\n\
                      (W1 wall-clock, O1 hash iteration, F1 partial_cmp, C1 lossy\n\
                      casts, E1 ambient entropy, U1 unwrap in hot paths, P1 library\n\
-                     printing), honours\n\
-                     justified `// lint:allow(RULE): why` comments, and gates the\n\
-                     result against lint-baseline.toml (exact match required).\n\
-                     --write-baseline regenerates the baseline from the live scan."
+                     printing, G1 guard across await, K1 wake under lock, L1\n\
+                     lock-order cycles, S1 conductor confinement — the last three\n\
+                     seeded from lint-locks.toml), honours\n\
+                     justified `// lint:allow(RULE[,RULE…]): why` comments, and gates\n\
+                     the result against lint-baseline.toml (exact match required).\n\
+                     --write-baseline regenerates the baseline from the live scan.\n\
+                     --format=json emits the scan + gate as deterministic JSON."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -79,6 +93,14 @@ fn main() -> ExitCode {
     };
 
     let gate = check_gate(&result, &baseline);
+    if format == Format::Json {
+        print!("{}", to_json(&result, &gate));
+        return if gate.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if verbose || !gate.is_clean() {
         for file in &result.files {
             for v in &file.violations {

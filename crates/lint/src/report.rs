@@ -1,0 +1,166 @@
+//! `--format=json`: a machine-readable scan + gate report.
+//!
+//! Hand-rolled serialization (no serde — the workspace is hermetic),
+//! byte-deterministic by construction: findings follow the scanner's
+//! path-sorted file order, counts and gate entries follow the
+//! `BTreeMap` key order, and nothing timestamps or randomizes. ci.sh
+//! runs the analyzer twice and `cmp`s the two reports — any
+//! nondeterminism in the analyzer itself fails the gate.
+
+use crate::{GateReport, Rule, ScanResult};
+
+/// Escapes a string for a JSON double-quoted literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the scan and gate outcome as a single JSON object.
+pub fn to_json(result: &ScanResult, gate: &GateReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"findings\": [",
+        result.files_scanned
+    ));
+    let mut first = true;
+    for file in &result.files {
+        for v in &file.violations {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"crate\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\"}}",
+                v.rule.id(),
+                esc(&file.crate_name),
+                esc(&file.rel_path),
+                v.line,
+                esc(&v.message)
+            ));
+        }
+    }
+    out.push_str(if first { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"counts\": [");
+    first = true;
+    for ((rule, krate), n) in &result.counts {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"crate\": \"{}\", \"count\": {n}}}",
+            rule.id(),
+            esc(krate)
+        ));
+    }
+    out.push_str(if first { "],\n" } else { "\n  ],\n" });
+    let live: usize = result
+        .counts
+        .iter()
+        .filter(|((r, _), _)| *r != Rule::A0)
+        .map(|(_, n)| n)
+        .sum();
+    out.push_str(&format!("  \"live_findings\": {live},\n"));
+    out.push_str(&format!(
+        "  \"gate\": {{\"clean\": {}, \"new_violations\": [",
+        gate.is_clean()
+    ));
+    first = true;
+    for (rule, krate, live, accepted) in &gate.new_violations {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"crate\": \"{}\", \"live\": {live}, \
+             \"accepted\": {accepted}}}",
+            rule.id(),
+            esc(krate)
+        ));
+    }
+    out.push_str(if first { "], " } else { "\n  ], " });
+    out.push_str("\"stale_entries\": [");
+    first = true;
+    for (rule, krate, live, accepted) in &gate.stale_entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"crate\": \"{}\", \"live\": {live}, \
+             \"accepted\": {accepted}}}",
+            rule.id(),
+            esc(krate)
+        ));
+    }
+    out.push_str(if first { "], " } else { "\n  ], " });
+    out.push_str(&format!("\"bad_allows\": {}}}\n}}\n", gate.bad_allows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileReport;
+    use crate::{check_gate, Baseline, Violation};
+
+    #[test]
+    fn escapes_json_metacharacters() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+        assert_eq!(esc("plain"), "plain");
+    }
+
+    #[test]
+    fn report_shape_round_trips_through_a_strict_checker() {
+        let mut result = ScanResult {
+            files_scanned: 2,
+            ..ScanResult::default()
+        };
+        result.counts.insert((Rule::C1, "sim".to_string()), 1);
+        result.files.push(FileReport {
+            rel_path: "crates/sim/src/x.rs".to_string(),
+            crate_name: "sim".to_string(),
+            violations: vec![Violation {
+                rule: Rule::C1,
+                line: 7,
+                message: "say \"why\"".to_string(),
+            }],
+        });
+        let gate = check_gate(&result, &Baseline::default());
+        let json = to_json(&result, &gate);
+        // Structural spot-checks: quoted message escaped, counts and
+        // gate present, balanced braces/brackets.
+        assert!(json.contains("\"say \\\"why\\\"\""), "{json}");
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"new_violations\": ["));
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+        let b_opens = json.matches('[').count();
+        let b_closes = json.matches(']').count();
+        assert_eq!(b_opens, b_closes, "{json}");
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let result = ScanResult::default();
+        let gate = check_gate(&result, &Baseline::default());
+        let json = to_json(&result, &gate);
+        assert!(json.contains("\"findings\": []"), "{json}");
+        assert!(json.contains("\"clean\": true"), "{json}");
+    }
+}

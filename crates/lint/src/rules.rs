@@ -16,9 +16,18 @@
 //! | E1   | no ambient entropy (`RandomState`, `DefaultHasher`, env reads) in sim paths |
 //! | U1   | no `unwrap()` in the pool/engine hot-path crates — `expect("<invariant>")` |
 //! | P1   | no `println!`/`eprintln!` in library code — record via `faas_obs` or return data; binaries/tests exempt |
+//! | G1   | no `Mutex`/`RwLock` guard binding live across an `.await` point |
+//! | K1   | no `wake()` reachable under an executor lock guard (workspace pass, seeded) |
+//! | L1   | no cycle in the seeded lock-acquisition-order graph (workspace pass) |
+//! | S1   | nothing reachable from a shard entry calls a conductor-only API (workspace pass) |
 //! | A0   | every `lint:allow` carries a justification |
+//!
+//! G1 is flow-sensitive but file-local, so it runs here with the other
+//! per-file rules; K1/L1/S1 need cross-file state and run in
+//! [`crate::conc`], seeded from `lint-locks.toml`. See DESIGN.md §13.
 
 use crate::lexer::{lex, Comment, Token, TokenKind};
+use crate::parser::{fn_items, nested_spans, walk_body, Event};
 
 /// Rule identifiers. `A0` is the meta-rule (bad suppression) and can
 /// never be baselined or suppressed.
@@ -38,6 +47,14 @@ pub enum Rule {
     U1,
     /// Direct stdout/stderr printing from library code.
     P1,
+    /// Lock guard live across an `.await` point.
+    G1,
+    /// `wake()` reachable while an executor lock guard is held.
+    K1,
+    /// Lock-acquisition-order cycle over the seeded lock set.
+    L1,
+    /// Conductor-only API reachable from a shard execution entry.
+    S1,
     /// `lint:allow` without a justification (or with an unknown rule).
     A0,
 }
@@ -45,7 +62,7 @@ pub enum Rule {
 impl Rule {
     /// All baselinable rules, in display order. `A0` is excluded: an
     /// unjustified allow is always fatal.
-    pub const BASELINABLE: [Rule; 7] = [
+    pub const BASELINABLE: [Rule; 11] = [
         Rule::W1,
         Rule::O1,
         Rule::F1,
@@ -53,6 +70,10 @@ impl Rule {
         Rule::E1,
         Rule::U1,
         Rule::P1,
+        Rule::G1,
+        Rule::K1,
+        Rule::L1,
+        Rule::S1,
     ];
 
     /// Stable textual id used in baselines and allow directives.
@@ -65,6 +86,10 @@ impl Rule {
             Rule::E1 => "E1",
             Rule::U1 => "U1",
             Rule::P1 => "P1",
+            Rule::G1 => "G1",
+            Rule::K1 => "K1",
+            Rule::L1 => "L1",
+            Rule::S1 => "S1",
             Rule::A0 => "A0",
         }
     }
@@ -79,6 +104,10 @@ impl Rule {
             "E1" => Some(Rule::E1),
             "U1" => Some(Rule::U1),
             "P1" => Some(Rule::P1),
+            "G1" => Some(Rule::G1),
+            "K1" => Some(Rule::K1),
+            "L1" => Some(Rule::L1),
+            "S1" => Some(Rule::S1),
             "A0" => Some(Rule::A0),
             _ => None,
         }
@@ -156,6 +185,7 @@ pub fn analyze_file(ctx: &FileContext, src: &str) -> Vec<Violation> {
     rule_e1(ctx, &lexed.tokens, &in_test, &mut violations);
     rule_u1(ctx, &lexed.tokens, &mut violations);
     rule_p1(ctx, &lexed.tokens, &in_test, &mut violations);
+    rule_g1(&lexed.tokens, &mut violations);
 
     let (allows, mut a0) = parse_allows(&lexed.comments);
     apply_suppressions(&lexed.tokens, &allows, &mut violations);
@@ -166,7 +196,7 @@ pub fn analyze_file(ctx: &FileContext, src: &str) -> Vec<Violation> {
 
 /// Marks which token indices sit inside a `#[cfg(test)] mod … { … }`
 /// region. For [`FileKind::TestFile`] everything is test context.
-fn test_spans(tokens: &[Token], kind: FileKind) -> Vec<bool> {
+pub(crate) fn test_spans(tokens: &[Token], kind: FileKind) -> Vec<bool> {
     let mut flags = vec![kind == FileKind::TestFile; tokens.len()];
     if kind == FileKind::TestFile {
         return flags;
@@ -534,9 +564,43 @@ fn rule_p1(ctx: &FileContext, tokens: &[Token], in_test: &[bool], out: &mut Vec<
     }
 }
 
+/// G1: a lock-guard binding live across an `.await` point. The guard
+/// pins the lock (or poisons determinism-adjacent invariants) for an
+/// unbounded suspension: any other task contending the lock deadlocks
+/// against the suspended holder. Applies to every crate, tests
+/// included — a deadlock in an oracle test still hangs CI. Flow
+/// semantics (births, `drop` kills, block scoping, re-acquisition)
+/// live in [`crate::parser::walk_body`].
+fn rule_g1(tokens: &[Token], out: &mut Vec<Violation>) {
+    let fns = fn_items(tokens);
+    for k in 0..fns.len() {
+        let skip = nested_spans(&fns, k);
+        walk_body(tokens, fns[k].body, &skip, |e, live| {
+            let Event::Await { line } = e else { return };
+            if live.is_empty() {
+                return;
+            }
+            let mut names: Vec<String> = live
+                .iter()
+                .map(|g| format!("`{}` (line {})", g.name, g.line))
+                .collect();
+            names.sort();
+            out.push(Violation {
+                rule: Rule::G1,
+                line: *line,
+                message: format!(
+                    "lock guard {} is live across this `.await`; drop it (or scope \
+                     it out) before suspending",
+                    names.join(", ")
+                ),
+            });
+        });
+    }
+}
+
 /// A parsed, justified `lint:allow` directive.
 #[derive(Debug)]
-struct Allow {
+pub(crate) struct Allow {
     rules: Vec<Rule>,
     /// Line of the directive comment.
     line: u32,
@@ -548,7 +612,7 @@ struct Allow {
 /// comments. Directives with no justification, an empty justification,
 /// an unknown rule, or an attempt to allow `A0` are themselves
 /// violations (A0).
-fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<Violation>) {
+pub(crate) fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<Violation>) {
     let mut allows = Vec::new();
     let mut bad = Vec::new();
     for c in comments {
@@ -619,7 +683,11 @@ fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<Violation>) {
 /// Applies justified allows: a directive suppresses its rules on the
 /// directive's own line (trailing-comment form) or on the first line
 /// containing code within three lines below it (comment-above form).
-fn apply_suppressions(tokens: &[Token], allows: &[Allow], violations: &mut Vec<Violation>) {
+pub(crate) fn apply_suppressions(
+    tokens: &[Token],
+    allows: &[Allow],
+    violations: &mut Vec<Violation>,
+) {
     if allows.is_empty() {
         return;
     }

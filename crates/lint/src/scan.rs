@@ -1,10 +1,13 @@
 //! Workspace walker: finds every `.rs` file, derives its
-//! [`FileContext`], runs the rules, and aggregates per-(rule, crate)
-//! counts for the ratchet.
+//! [`FileContext`], runs the per-file rules and the seeded workspace
+//! concurrency pass, and aggregates per-(rule, crate) counts for the
+//! ratchet.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use crate::conc::{analyze_workspace, SourceFile};
+use crate::locks::LocksConfig;
 use crate::rules::{analyze_file, FileContext, FileKind, Rule, Violation};
 
 /// One file's findings, workspace-relative.
@@ -66,15 +69,27 @@ pub fn classify(rel: &str) -> FileContext {
     }
 }
 
-/// Scans the workspace rooted at `root`. I/O errors on individual
-/// files are fatal: a lint gate that silently skips unreadable files
-/// is not a gate.
+/// Scans the workspace rooted at `root`: the per-file rules on every
+/// `.rs` file, then the workspace concurrency pass (K1/L1/S1) seeded
+/// from `<root>/lint-locks.toml` — a missing seed file leaves those
+/// rules silent; a malformed one is fatal. I/O errors on individual
+/// files are fatal too: a lint gate that silently skips unreadable
+/// files is not a gate.
 pub fn scan_workspace(root: &Path) -> Result<ScanResult, String> {
-    let mut files = Vec::new();
-    walk(root, root, &mut files)?;
-    files.sort();
-    let mut result = ScanResult::default();
-    for path in files {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let locks_path = root.join("lint-locks.toml");
+    let cfg = match std::fs::read_to_string(&locks_path) {
+        Ok(text) => {
+            LocksConfig::parse(&text).map_err(|e| format!("{}: {e}", locks_path.display()))?
+        }
+        Err(_) => LocksConfig::default(),
+    };
+
+    let mut sources: Vec<SourceFile> = Vec::new();
+    let mut per_file: Vec<Vec<Violation>> = Vec::new();
+    for path in paths {
         let rel = path
             .strip_prefix(root)
             .map_err(|_| "walk escaped root".to_string())?
@@ -85,18 +100,29 @@ pub fn scan_workspace(root: &Path) -> Result<ScanResult, String> {
         let src = std::fs::read_to_string(&path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
         let ctx = classify(&rel);
-        let violations = analyze_file(&ctx, &src);
-        result.files_scanned += 1;
+        per_file.push(analyze_file(&ctx, &src));
+        sources.push(SourceFile { ctx, src });
+    }
+    for (idx, v) in analyze_workspace(&sources, &cfg)? {
+        per_file[idx].push(v);
+    }
+
+    let mut result = ScanResult {
+        files_scanned: sources.len(),
+        ..ScanResult::default()
+    };
+    for (file, mut violations) in sources.into_iter().zip(per_file) {
+        violations.sort_by_key(|v| (v.line, v.rule));
         for v in &violations {
             *result
                 .counts
-                .entry((v.rule, ctx.crate_name.clone()))
+                .entry((v.rule, file.ctx.crate_name.clone()))
                 .or_insert(0) += 1;
         }
         if !violations.is_empty() {
             result.files.push(FileReport {
-                rel_path: rel,
-                crate_name: ctx.crate_name.clone(),
+                rel_path: file.ctx.rel_path,
+                crate_name: file.ctx.crate_name,
                 violations,
             });
         }

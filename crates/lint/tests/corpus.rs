@@ -8,7 +8,9 @@
 
 use std::path::Path;
 
-use cidre_lint::{analyze_file, FileContext, FileKind, Rule};
+use cidre_lint::{
+    analyze_file, analyze_workspace, classify, FileContext, FileKind, LocksConfig, Rule, SourceFile,
+};
 
 /// Analyzes one fixture under a caller-chosen crate context (rules are
 /// crate-scoped, so each fixture picks a crate where only its own rule
@@ -132,6 +134,232 @@ fn p1_exempts_binaries_and_terminal_crates() {
         assert_eq!(count(&v, Rule::P1), 0, "{rel_path}: {v:?}");
         assert_eq!(count(&v, Rule::A0), 1, "{rel_path}: {v:?}");
     }
+}
+
+/// Runs the workspace concurrency pass over one fixture under a
+/// caller-chosen relative path and seed config.
+fn run_workspace(fixture: &str, rel_path: &str, cfg_toml: &str) -> Vec<(Rule, u32)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(fixture);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    let cfg = LocksConfig::parse(cfg_toml).expect("test seed config parses");
+    let files = vec![SourceFile {
+        ctx: FileContext {
+            crate_name: "fixt".to_string(),
+            rel_path: rel_path.to_string(),
+            file_kind: FileKind::Source,
+        },
+        src,
+    }];
+    analyze_workspace(&files, &cfg)
+        .expect("workspace pass succeeds")
+        .into_iter()
+        .map(|(_, v)| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn g1_corpus() {
+    let v = run("g1.rs", "live");
+    // Simple positive, the two-guard positive, and the await behind
+    // the bare allow; both justified allows and the three negative
+    // shapes (drop-first, scoped-out, deref copy) are silent.
+    assert_eq!(count(&v, Rule::G1), 3, "{v:?}");
+    assert_eq!(count(&v, Rule::A0), 1, "{v:?}");
+    assert_eq!(v.len(), 4, "{v:?}");
+}
+
+#[test]
+fn k1_corpus() {
+    let cfg = "[k1]\nscope = [\"crates/fixt/\"]\n";
+    let v = run_workspace("k1.rs", "crates/fixt/src/k1.rs", cfg);
+    // Direct wake under guard, the one-level-deep call, and the call
+    // behind the bare allow; `notify` itself (wake after drop), the
+    // justified allow, and the multi-rule allow in `dual` are silent.
+    assert_eq!(count(&v, Rule::K1), 3, "{v:?}");
+    assert_eq!(v.len(), 3, "{v:?}");
+    // The bare allow and the suppressed G1 in `dual` surface through
+    // the per-file pass: exactly one A0, no G1.
+    let f = run("k1.rs", "fixt");
+    assert_eq!(count(&f, Rule::A0), 1, "{f:?}");
+    assert_eq!(count(&f, Rule::G1), 0, "{f:?}");
+}
+
+#[test]
+fn k1_is_silent_outside_its_scope() {
+    let cfg = "[k1]\nscope = [\"crates/live/src/exec/\"]\n";
+    let v = run_workspace("k1.rs", "crates/fixt/src/k1.rs", cfg);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+const L1_CFG: &str = "\
+[[lock]]
+name = \"alpha\"
+files = [\"crates/fixt/src/l1.rs\"]
+field = \"alpha\"
+
+[[lock]]
+name = \"beta\"
+files = [\"crates/fixt/src/l1.rs\"]
+field = \"beta\"
+";
+
+#[test]
+fn l1_corpus() {
+    let v = run_workspace("l1.rs", "crates/fixt/src/l1.rs", L1_CFG);
+    // Both edges of the alpha/beta cycle, the re-entrant self-edge,
+    // and the edge behind the bare allow; the justified allow and the
+    // sequential `ordered` are silent.
+    assert_eq!(count(&v, Rule::L1), 4, "{v:?}");
+    assert_eq!(v.len(), 4, "{v:?}");
+    let f = run("l1.rs", "fixt");
+    assert_eq!(count(&f, Rule::A0), 1, "{f:?}");
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
+fn l1_reordering_two_acquisitions_breaks_a_clean_scan() {
+    // Scratch sources, not fixture files: the same two functions, once
+    // agreeing on alpha-before-beta (clean) and once with the second
+    // function flipped (cycle). Deliberately reordering two lock
+    // acquisitions must flip the scan from silent to failing.
+    let agree = "
+        fn one(t: &Two) {
+            let a = t.alpha.lock().unwrap();
+            let b = t.beta.lock().unwrap();
+            drop(b);
+            drop(a);
+        }
+        fn two(t: &Two) {
+            let a = t.alpha.lock().unwrap();
+            let b = t.beta.lock().unwrap();
+            drop(b);
+            drop(a);
+        }
+    ";
+    let flipped = "
+        fn one(t: &Two) {
+            let a = t.alpha.lock().unwrap();
+            let b = t.beta.lock().unwrap();
+            drop(b);
+            drop(a);
+        }
+        fn two(t: &Two) {
+            let b = t.beta.lock().unwrap();
+            let a = t.alpha.lock().unwrap();
+            drop(a);
+            drop(b);
+        }
+    ";
+    let cfg = LocksConfig::parse(L1_CFG).expect("config parses");
+    let scan = |src: &str| -> Vec<Rule> {
+        let files = vec![SourceFile {
+            ctx: FileContext {
+                crate_name: "fixt".to_string(),
+                rel_path: "crates/fixt/src/l1.rs".to_string(),
+                file_kind: FileKind::Source,
+            },
+            src: src.to_string(),
+        }];
+        analyze_workspace(&files, &cfg)
+            .expect("workspace pass succeeds")
+            .into_iter()
+            .map(|(_, v)| v.rule)
+            .collect()
+    };
+    assert!(scan(agree).is_empty(), "consistent order must be silent");
+    let v = scan(flipped);
+    assert_eq!(v.len(), 2, "both cycle edges flagged: {v:?}");
+    assert!(v.iter().all(|r| *r == Rule::L1), "{v:?}");
+}
+
+const S1_CFG: &str = "\
+[s1]
+entry = [\"shard_entry\"]
+scope = [\"crates/fixt/\"]
+conductor_only = [\"on_evict\", \"observe\"]
+";
+
+#[test]
+fn s1_corpus() {
+    let v = run_workspace("s1.rs", "crates/fixt/src/s1.rs", S1_CFG);
+    // One hop (`step`), two hops (`advance`), and the call behind the
+    // bare allow; the justified allow and the unreachable
+    // `conductor_tick` are silent.
+    assert_eq!(count(&v, Rule::S1), 3, "{v:?}");
+    assert_eq!(v.len(), 3, "{v:?}");
+    let f = run("s1.rs", "fixt");
+    assert_eq!(count(&f, Rule::A0), 1, "{f:?}");
+    assert_eq!(f.len(), 1, "{f:?}");
+}
+
+#[test]
+fn s1_unresolvable_entry_is_seed_rot_and_errors() {
+    let cfg = LocksConfig::parse(
+        "[s1]\nentry = [\"gone_fn\"]\nscope = [\"crates/fixt/\"]\nconductor_only = [\"observe\"]\n",
+    )
+    .expect("config parses");
+    let files = vec![SourceFile {
+        ctx: classify("crates/fixt/src/s1.rs"),
+        src: "fn present() {}\n".to_string(),
+    }];
+    let err = analyze_workspace(&files, &cfg).expect_err("must error");
+    assert!(err.contains("gone_fn"), "{err}");
+}
+
+#[test]
+fn multi_rule_allow_suppresses_each_listed_rule() {
+    let src = "fn f() { let t = Instant::now(); } // lint:allow(W1,G1): fixture clock\n";
+    let ctx = FileContext {
+        crate_name: "sim".to_string(),
+        rel_path: "crates/sim/src/x.rs".to_string(),
+        file_kind: FileKind::Source,
+    };
+    let v = analyze_file(&ctx, src);
+    assert!(v.is_empty(), "both rules listed, W1 suppressed: {v:?}");
+}
+
+#[test]
+fn unknown_rule_in_multi_rule_list_poisons_the_directive() {
+    // One bogus id invalidates the whole directive: A0 fires and
+    // nothing is suppressed.
+    let ctx = FileContext {
+        crate_name: "sim".to_string(),
+        rel_path: "crates/sim/src/x.rs".to_string(),
+        file_kind: FileKind::Source,
+    };
+    for allow in ["lint:allow(W1,Z9): x", "lint:allow(W1,A0): x"] {
+        let src = format!("fn f() {{ let t = Instant::now(); }} // {allow}\n");
+        let v: Vec<(Rule, u32)> = analyze_file(&ctx, &src)
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect();
+        assert_eq!(count(&v, Rule::A0), 1, "{allow}: {v:?}");
+        assert_eq!(count(&v, Rule::W1), 1, "{allow}: {v:?}");
+    }
+}
+
+#[test]
+fn lint_crate_lints_itself_clean() {
+    // The analyzer must hold itself to its own rules — zero findings
+    // (and zero suppressions needed) across its sources.
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&src_dir).expect("src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().map(|e| e == "rs") != Some(true) {
+            continue;
+        }
+        let name = path.file_name().expect("file name").to_string_lossy();
+        let ctx = classify(&format!("crates/lint/src/{name}"));
+        let src = std::fs::read_to_string(&path).expect("readable");
+        let v = analyze_file(&ctx, &src);
+        assert!(v.is_empty(), "crates/lint/src/{name}: {v:?}");
+        checked += 1;
+    }
+    assert!(checked >= 8, "expected the full module set, saw {checked}");
 }
 
 #[test]

@@ -1067,6 +1067,7 @@ impl<'a, R: Recorder> Simulation<'a, R> {
     fn note_memory(&mut self) {
         if self.config.record_memory {
             self.memory
+                // lint:allow(C1): whole-MB totals sit far below 2^53 — exact in f64
                 .push(self.now.as_micros(), self.cluster.used_mb() as f64);
         }
     }

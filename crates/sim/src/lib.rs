@@ -92,6 +92,7 @@ impl KeepAlive for LruKeepAlive {
     }
 
     fn priority(&self, container: &ContainerInfo, _ctx: &PolicyCtx<'_>) -> f64 {
+        // lint:allow(C1): micro timestamps stay below 2^53 — exact in f64
         container.last_used.as_micros() as f64
     }
 

@@ -305,15 +305,19 @@ impl SyntheticWorkload {
             return;
         }
         let peak = 1.0 + self.diurnal_amplitude;
-        let rate_per_us = expected * peak / self.duration.as_micros() as f64;
+        // lint:allow(C1): micro durations stay below 2^53 — exact in f64
+        let dur_us = self.duration.as_micros() as f64;
+        let rate_per_us = expected * peak / dur_us;
         let mut t = 0.0f64;
         loop {
             t += rng.exponential(rate_per_us);
-            if t >= self.duration.as_micros() as f64 {
+            if t >= dur_us {
                 break;
             }
             if self.diurnal_keep(rng, t) {
-                out.push(self.invocation(rng, func, TimePoint::from_micros(t as u64), median_ms));
+                // lint:allow(C1): quantizing a non-negative f64 instant to whole µs
+                let at = TimePoint::from_micros(t as u64);
+                out.push(self.invocation(rng, func, at, median_ms));
             }
         }
     }
@@ -335,6 +339,7 @@ impl SyntheticWorkload {
     ) {
         let mut remaining = expected.round() as i64;
         let dur_us = self.duration.as_micros();
+        // lint:allow(C1): micro windows stay below 2^53 — exact in f64
         let w = self.burst_window.as_micros().max(1) as f64;
         while remaining > 0 {
             let size = rng

@@ -22,11 +22,13 @@ pub fn scale_iat(trace: &Trace, factor: f64) -> Trace {
     let (functions, invocations) = trace.clone().into_parts();
     let invocations = invocations
         .into_iter()
-        .map(|inv| Invocation {
-            arrival: TimePoint::from_micros(
-                (inv.arrival.as_micros() as f64 * factor).round() as u64
-            ),
-            ..inv
+        .map(|inv| {
+            // lint:allow(C1): micros stay below 2^53 — the scaled product rounds exactly
+            let us = (inv.arrival.as_micros() as f64 * factor).round() as u64;
+            Invocation {
+                arrival: TimePoint::from_micros(us),
+                ..inv
+            }
         })
         .collect();
     Trace::new(functions, invocations).expect("transform preserves consistency")
